@@ -1,0 +1,53 @@
+// Shared workload builder for the figure benches.
+//
+// Every bench consumes the same artefact: a paper benchmark (Fig. 10 row)
+// plus spike traces recorded by the functional simulator on the matching
+// synthetic dataset.  Traces are independent of the architecture
+// configuration, so one build serves every MCA size / event-driven mode.
+//
+// Environment knobs (all optional, for quick runs):
+//   RESPARC_BENCH_IMAGES    images per benchmark      (default 3)
+//   RESPARC_BENCH_TIMESTEPS presentation length       (default 32)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "snn/benchmarks.hpp"
+#include "snn/network.hpp"
+#include "snn/trace.hpp"
+
+namespace resparc::bench {
+
+/// A benchmark plus recorded spike traces ready for the executors.
+struct Workload {
+  snn::BenchmarkSpec spec;
+  snn::Network network;                 ///< calibrated random-weight SNN
+  std::vector<snn::SpikeTrace> traces;  ///< one per presented image
+  double mean_activity = 0.0;           ///< spikes/neuron/step over traces
+};
+
+/// Number of images per benchmark (env RESPARC_BENCH_IMAGES, default 3).
+std::size_t bench_images();
+
+/// Presentation length in timesteps (env RESPARC_BENCH_TIMESTEPS, 32).
+std::size_t bench_timesteps();
+
+/// Builds the workload for one Fig. 10 benchmark: synthesises the matching
+/// dataset (downsampled for the SVHN/CIFAR MLPs), initialises weights,
+/// calibrates thresholds to ~`target_activity` per layer, and records the
+/// traces.  Deterministic in `seed`.
+Workload make_workload(const snn::BenchmarkSpec& spec,
+                       std::size_t images = bench_images(),
+                       std::size_t timesteps = bench_timesteps(),
+                       std::uint64_t seed = 7, double target_activity = 0.10);
+
+/// All six paper benchmarks as ready workloads (paper row order).
+std::vector<Workload> paper_workloads();
+
+/// Writes `content` under bench_output/<name> next to the working
+/// directory (best effort; failures are reported but not fatal).
+void note_csv_written(const std::string& path, bool ok);
+
+}  // namespace resparc::bench

@@ -1,0 +1,48 @@
+// Fig. 8 — RESPARC parameters and implementation metrics.
+//
+// Reproduces the paper's NeuroCell table: micro-architectural parameters
+// (64-bit architecture, 4x4 NC, 16 mPEs / 9 switches, 4 MCAs per mPE) and
+// the implementation-metric roll-up (area, power, gate count, frequency)
+// from the analytic 45 nm component models, printed next to the paper's
+// synthesis numbers.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/resparc.hpp"
+
+int main() {
+  using namespace resparc;
+  const core::ResparcConfig cfg = core::default_config();
+  const core::NeuroCellMetrics m = core::neurocell_metrics(cfg);
+
+  std::cout << "== Fig. 8: RESPARC parameters and metrics (one NeuroCell) ==\n\n";
+
+  Table params({"Micro-architectural parameter", "Value", "Paper"});
+  params.add_row({"Architecture width", std::to_string(cfg.technology.flit_bits) + " bit", "64 bit"});
+  params.add_row({"NC dimension", std::to_string(cfg.nc_dim) + "x" + std::to_string(cfg.nc_dim), "4x4"});
+  params.add_row({"No. of mPE (switches)",
+                  std::to_string(m.mpe_count) + " (" + std::to_string(m.switch_count) + ")",
+                  "16 (9)"});
+  params.add_row({"No. of MCAs per mPE", std::to_string(m.mcas_per_mpe), "4"});
+  params.print(std::cout);
+
+  std::cout << '\n';
+  Table metrics({"Metric", "Ours", "Paper"});
+  metrics.add_row({"Feature size", "45 nm", "45 nm"});
+  metrics.add_row({"Area (mm^2)", Table::num(m.area_mm2, 2), "0.29"});
+  metrics.add_row({"Power (mW)", Table::num(m.power_mw, 1), "53.2"});
+  metrics.add_row({"Gate count", Table::num(m.gate_count, 0), "67643"});
+  metrics.add_row({"Frequency (MHz)", Table::num(m.frequency_mhz, 0), "200"});
+  metrics.print(std::cout);
+
+  Csv csv({"metric", "ours", "paper"});
+  csv.add_row({"area_mm2", Table::num(m.area_mm2, 3), "0.29"});
+  csv.add_row({"power_mw", Table::num(m.power_mw, 2), "53.2"});
+  csv.add_row({"gate_count", Table::num(m.gate_count, 0), "67643"});
+  csv.add_row({"frequency_mhz", Table::num(m.frequency_mhz, 0), "200"});
+  bench::note_csv_written("fig08_resparc_metrics.csv",
+                          csv.write("fig08_resparc_metrics.csv"));
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 9 — CMOS baseline parameters and implementation metrics.
+//
+// The baseline's micro-architecture (16 NUs, FIFO depth 32, 4-bit widths,
+// 1 GHz) and its analytic area/power/gate-count roll-up, printed against
+// the paper's synthesis results.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cmos/falcon.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace resparc;
+  const cmos::FalconConfig cfg{};
+  const cmos::BaselineMetrics m = cmos::baseline_metrics(cfg);
+
+  std::cout << "== Fig. 9: CMOS baseline parameters and metrics ==\n\n";
+
+  Table params({"Micro-architectural parameter", "Value", "Paper"});
+  params.add_row({"NU count", std::to_string(cfg.neuron_units), "16"});
+  params.add_row({"FIFO(s): Input (Weight)", "16 (1)", "16 (1)"});
+  params.add_row({"FIFO depth", std::to_string(cfg.fifo_depth), "32"});
+  params.add_row({"Width: FIFO (NU), bits",
+                  std::to_string(cfg.nu_width_bits) + " (" +
+                      std::to_string(cfg.nu_width_bits) + ")",
+                  "4 (4)"});
+  params.print(std::cout);
+
+  std::cout << '\n';
+  Table metrics({"Metric", "Ours", "Paper"});
+  metrics.add_row({"Feature size", "45 nm", "45 nm"});
+  metrics.add_row({"Area (mm^2)", Table::num(m.area_mm2, 2), "0.19"});
+  metrics.add_row({"Power (mW)", Table::num(m.power_mw, 1), "35.1"});
+  metrics.add_row({"Gate count", Table::num(m.gate_count, 0), "44798"});
+  metrics.add_row({"Frequency (MHz)", Table::num(m.frequency_mhz, 0), "1000"});
+  metrics.print(std::cout);
+
+  Csv csv({"metric", "ours", "paper"});
+  csv.add_row({"area_mm2", Table::num(m.area_mm2, 3), "0.19"});
+  csv.add_row({"power_mw", Table::num(m.power_mw, 2), "35.1"});
+  csv.add_row({"gate_count", Table::num(m.gate_count, 0), "44798"});
+  csv.add_row({"frequency_mhz", Table::num(m.frequency_mhz, 0), "1000"});
+  bench::note_csv_written("fig09_cmos_metrics.csv",
+                          csv.write("fig09_cmos_metrics.csv"));
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 11 — Energy and performance speedup of RESPARC vs the CMOS
+// baseline, per classification, at MCA size 64.
+//
+// The paper reports (a/c) CNN energy gains of 10-15x at speedups of
+// 33-95x and (b/d) MLP energy gains of 331-659x at speedups of 360-415x.
+// This bench replays identical spike traces through both architecture
+// models and prints the measured factors next to the paper's.
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench_util.hpp"
+#include "cmos/falcon.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/resparc.hpp"
+
+namespace {
+
+struct PaperRow {
+  double energy_gain;
+  double speedup;
+};
+
+// Fig. 11 per-benchmark factors as printed in the paper's bar labels.
+const std::map<std::string, PaperRow> kPaper = {
+    {"mnist-mlp", {331.0, 360.0}}, {"svhn-mlp", {659.0, 371.0}},
+    {"cifar-mlp", {549.0, 415.0}}, {"mnist-cnn", {11.0, 33.0}},
+    {"svhn-cnn", {10.0, 52.0}},    {"cifar-cnn", {15.0, 95.0}},
+};
+
+}  // namespace
+
+int main() {
+  using namespace resparc;
+  std::cout << "== Fig. 11: RESPARC vs CMOS baseline @ MCA-64 ==\n"
+            << "(" << bench::bench_images() << " images x "
+            << bench::bench_timesteps() << " timesteps per benchmark)\n\n";
+
+  Table t({"Benchmark", "E RESPARC (uJ)", "E CMOS (uJ)", "Energy gain",
+           "Paper gain", "Lat RESPARC (us)", "Lat CMOS (us)", "Speedup",
+           "Paper speedup"});
+  Csv csv({"benchmark", "resparc_uj", "cmos_uj", "energy_gain", "paper_gain",
+           "resparc_us", "cmos_us", "speedup", "paper_speedup"});
+
+  double mlp_gain_sum = 0.0, cnn_gain_sum = 0.0;
+  double mlp_speed_sum = 0.0, cnn_speed_sum = 0.0;
+  int mlps = 0, cnns = 0;
+
+  for (const auto& w : bench::paper_workloads()) {
+    core::ResparcChip chip(core::config_with_mca(64));
+    chip.load(w.spec.topology);
+    const core::RunReport r = chip.execute(w.traces);
+
+    cmos::FalconAccelerator baseline(w.spec.topology, {});
+    const cmos::CmosReport c = baseline.run_all(w.traces);
+
+    const double gain = c.energy.total_pj() / r.energy.total_pj();
+    const double speedup = c.latency_ns() / r.perf.latency_pipelined_ns();
+    const PaperRow paper = kPaper.at(w.spec.topology.name());
+
+    if (w.spec.topology.is_convolutional()) {
+      cnn_gain_sum += gain;
+      cnn_speed_sum += speedup;
+      ++cnns;
+    } else {
+      mlp_gain_sum += gain;
+      mlp_speed_sum += speedup;
+      ++mlps;
+    }
+
+    t.add_row({w.spec.topology.name(),
+               Table::num(r.energy.total_pj() * 1e-6, 3),
+               Table::num(c.energy.total_pj() * 1e-6, 2),
+               Table::factor(gain, 1), Table::factor(paper.energy_gain, 0),
+               Table::num(r.perf.latency_pipelined_ns() * 1e-3, 2),
+               Table::num(c.latency_ns() * 1e-3, 1), Table::factor(speedup, 1),
+               Table::factor(paper.speedup, 0)});
+    csv.add_row({w.spec.topology.name(),
+                 Table::num(r.energy.total_pj() * 1e-6, 4),
+                 Table::num(c.energy.total_pj() * 1e-6, 3),
+                 Table::num(gain, 2), Table::num(paper.energy_gain, 0),
+                 Table::num(r.perf.latency_pipelined_ns() * 1e-3, 3),
+                 Table::num(c.latency_ns() * 1e-3, 2), Table::num(speedup, 2),
+                 Table::num(paper.speedup, 0)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nAverages: MLP energy gain " << Table::factor(mlp_gain_sum / mlps, 0)
+            << " (paper 513x avg), speedup " << Table::factor(mlp_speed_sum / mlps, 0)
+            << " (paper 382x avg); CNN energy gain "
+            << Table::factor(cnn_gain_sum / cnns, 1)
+            << " (paper 12x avg), speedup " << Table::factor(cnn_speed_sum / cnns, 0)
+            << " (paper 60x avg).\n";
+  bench::note_csv_written("fig11_energy_speedup.csv",
+                          csv.write("fig11_energy_speedup.csv"));
+  return 0;
+}

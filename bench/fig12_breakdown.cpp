@@ -1,0 +1,83 @@
+// Fig. 12 — Energy breakdowns vs crossbar size.
+//
+// (a/c) RESPARC energy split into Neuron / Crossbar / Peripherals for MCA
+// sizes 32, 64 and 128 on every benchmark; the paper's claims: MLP energy
+// falls monotonically with MCA size, CNNs are cheapest at 64.
+// (b/d) CMOS baseline split into Core / Memory Access / Memory Leakage;
+// the paper's claims: MLPs are memory-dominated, CNNs compute-dominated.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cmos/falcon.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/resparc.hpp"
+
+int main() {
+  using namespace resparc;
+  std::cout << "== Fig. 12: energy breakdowns vs MCA size ==\n\n";
+
+  Table ra({"Benchmark", "Config", "Neuron (uJ)", "Crossbar (uJ)",
+            "Peripherals (uJ)", "Total (uJ)", "Norm."});
+  Csv csv({"benchmark", "config", "neuron_uj", "crossbar_uj",
+           "peripherals_uj", "total_uj"});
+
+  const auto workloads = bench::paper_workloads();
+
+  for (const auto& w : workloads) {
+    double norm = 0.0;
+    for (std::size_t mca : {32u, 64u, 128u}) {
+      core::ResparcChip chip(core::config_with_mca(mca));
+      chip.load(w.spec.topology);
+      const core::RunReport r = chip.execute(w.traces);
+      const double total = r.energy.total_pj() * 1e-6;
+      if (norm == 0.0) norm = total;  // normalise to the RESPARC-32 column
+      const std::string cfg_label = "RESPARC-" + std::to_string(mca);
+      ra.add_row({w.spec.topology.name(), cfg_label,
+                  Table::num(r.energy.neuron_pj * 1e-6, 3),
+                  Table::num(r.energy.crossbar_pj * 1e-6, 3),
+                  Table::num(r.energy.peripherals_pj() * 1e-6, 3),
+                  Table::num(total, 3), Table::num(total / norm, 2)});
+      csv.add_row({w.spec.topology.name(), cfg_label,
+                   Table::num(r.energy.neuron_pj * 1e-6, 4),
+                   Table::num(r.energy.crossbar_pj * 1e-6, 4),
+                   Table::num(r.energy.peripherals_pj() * 1e-6, 4),
+                   Table::num(total, 4)});
+    }
+  }
+  std::cout << "--- (a/c) RESPARC breakdown (per classification) ---\n";
+  ra.print(std::cout);
+  std::cout << "Paper: MLP energy decreases with MCA size (peripheral\n"
+               "amortisation); CNNs are most efficient at RESPARC-64 —\n"
+               "beyond it, non-utilised crosspoints dominate.\n\n";
+
+  Table cb({"Benchmark", "Core (uJ)", "Mem access (uJ)", "Mem leakage (uJ)",
+            "Total (uJ)", "Dominant"});
+  for (const auto& w : workloads) {
+    cmos::FalconAccelerator baseline(w.spec.topology, {});
+    const cmos::CmosReport c = baseline.run_all(w.traces);
+    const double core = c.energy.core_pj * 1e-6;
+    const double acc = c.energy.memory_access_pj * 1e-6;
+    const double leak = c.energy.memory_leakage_pj * 1e-6;
+    // "Dominant" = the largest single bucket, matching how the paper's
+    // stacked bars read.
+    const std::string dominant =
+        core >= acc && core >= leak
+            ? "core"
+            : (acc >= leak ? "memory access" : "memory leakage");
+    cb.add_row({w.spec.topology.name(), Table::num(core, 2),
+                Table::num(acc, 2), Table::num(leak, 2),
+                Table::num(c.energy.total_pj() * 1e-6, 2), dominant});
+    csv.add_row({w.spec.topology.name(), "CMOS", Table::num(core, 4),
+                 Table::num(acc, 4), Table::num(leak, 4),
+                 Table::num(c.energy.total_pj() * 1e-6, 4)});
+  }
+  std::cout << "--- (b/d) CMOS baseline breakdown (per classification) ---\n";
+  cb.print(std::cout);
+  std::cout << "Paper: MLPs are dominated by the memory component (weight\n"
+               "storage is what RESPARC's in-memory crossbars eliminate);\n"
+               "CNN cores dominate their memory-access term (weight reuse),\n"
+               "so RESPARC's CNN win comes from cheap inner products.\n";
+  bench::note_csv_written("fig12_breakdown.csv", csv.write("fig12_breakdown.csv"));
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 13 — Effect of event-drivenness (zero-check logic) on MNIST.
+//
+// Runs the MNIST MLP and CNN with and without the section-3.2 zero-check
+// levers for MCA sizes 128/64/32 and reports the savings plus the
+// underlying zero-packet statistics.  Paper: savings are largest at the
+// smallest MCA (short runs of zeros are common; long runs are rare), and
+// MLPs save more than CNNs (black background vs foreground-rich windows).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/resparc.hpp"
+#include "snn/stats.hpp"
+
+int main() {
+  using namespace resparc;
+  std::cout << "== Fig. 13: event-driven savings on MNIST ==\n\n";
+
+  Table t({"Net", "Config", "E w/o ED (uJ)", "E w/ ED (uJ)", "Saving (uJ)",
+           "Saving %", "Zero packets @N"});
+  Csv csv({"net", "mca", "e_off_uj", "e_on_uj", "saving_uj", "saving_pct",
+           "zero_packet_fraction"});
+
+  for (const auto& spec : {snn::mnist_mlp(), snn::mnist_cnn()}) {
+    const bench::Workload w = bench::make_workload(spec);
+    for (std::size_t mca : {128u, 64u, 32u}) {
+      core::ResparcConfig on = core::config_with_mca(mca);
+      core::ResparcConfig off = on;
+      off.event_driven = false;
+
+      core::ResparcChip chip_on(on), chip_off(off);
+      chip_on.load(spec.topology);
+      chip_off.load(spec.topology);
+      const double e_on = chip_on.execute(w.traces).energy.total_pj() * 1e-6;
+      const double e_off = chip_off.execute(w.traces).energy.total_pj() * 1e-6;
+
+      // Zero-packet probability at run length = MCA size, input layer.
+      snn::PacketStats stats;
+      for (const auto& trace : w.traces) {
+        const snn::PacketStats s = snn::layer_packet_stats(trace, 0, mca);
+        stats.packets += s.packets;
+        stats.zero_packets += s.zero_packets;
+      }
+      const double saving = e_off - e_on;
+      t.add_row({spec.topology.is_convolutional() ? "CNN" : "MLP",
+                 "RESPARC-" + std::to_string(mca), Table::num(e_off, 3),
+                 Table::num(e_on, 3), Table::num(saving, 3),
+                 Table::num(100.0 * saving / e_off, 1),
+                 Table::num(100.0 * stats.zero_fraction(), 1) + "%"});
+      csv.add_row({spec.topology.is_convolutional() ? "CNN" : "MLP",
+                   std::to_string(mca), Table::num(e_off, 4),
+                   Table::num(e_on, 4), Table::num(saving, 4),
+                   Table::num(100.0 * saving / e_off, 2),
+                   Table::num(stats.zero_fraction(), 4)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper: savings are highest for the smallest MCA (zero\n"
+               "packets with short run lengths are far more frequent), and\n"
+               "event-drivenness lets small, reliable MCAs stay efficient.\n"
+               "MLP savings exceed CNN savings (1-D vectors over black\n"
+               "background vs 2-D foreground windows).\n";
+  bench::note_csv_written("fig13_eventdriven.csv", csv.write("fig13_eventdriven.csv"));
+  return 0;
+}

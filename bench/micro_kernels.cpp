@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) of the simulator's hot kernels:
+// crossbar reads, functional-simulation steps, mapping, and trace replay.
+// These guard the wall-clock budget of the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/executor.hpp"
+#include "core/mapper.hpp"
+#include "core/mca.hpp"
+#include "snn/benchmarks.hpp"
+#include "snn/simulator.hpp"
+#include "tech/crossbar_model.hpp"
+
+namespace {
+
+using namespace resparc;
+
+void BM_CrossbarReadCurrents(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  tech::CrossbarModel xbar(n, n, tech::Memristor{tech::pcm_params()});
+  Matrix mags(n, n, 0.5f);
+  xbar.program(mags);
+  Rng rng(1);
+  std::vector<std::uint8_t> spikes(n);
+  for (auto& s : spikes) s = rng.bernoulli(0.1);
+  std::vector<double> currents(n);
+  for (auto _ : state) {
+    xbar.read_currents(spikes, currents);
+    benchmark::DoNotOptimize(currents.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_CrossbarReadCurrents)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_McaAccumulate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::Mca mca(n, tech::Memristor{tech::pcm_params()});
+  Rng rng(2);
+  Matrix weights(n, n);
+  for (float& w : weights.flat()) w = static_cast<float>(rng.normal(0.0, 0.3));
+  mca.program(weights, 0);
+  snn::SpikeVector input(n);
+  for (std::size_t i = 0; i < n; i += 7) input.set(i);
+  std::vector<float> acc(n);
+  for (auto _ : state) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    benchmark::DoNotOptimize(mca.accumulate(input, acc));
+  }
+}
+BENCHMARK(BM_McaAccumulate)->Arg(64)->Arg(128);
+
+void BM_FunctionalSimStep(benchmark::State& state) {
+  // One full presentation of the MNIST MLP (paper scale) per iteration.
+  const auto spec = snn::mnist_mlp();
+  snn::Network net(spec.topology);
+  Rng rng(3);
+  net.init_random(rng, 1.0f);
+  net.set_uniform_threshold(2.0);
+  snn::SimConfig cfg;
+  cfg.timesteps = static_cast<std::size_t>(state.range(0));
+  cfg.record_trace = false;
+  snn::Simulator sim(net, cfg);
+  std::vector<float> img(784);
+  for (auto& p : img) p = static_cast<float>(rng.uniform(0.0, 0.3));
+  for (auto _ : state) {
+    const auto result = sim.run(img, rng);
+    benchmark::DoNotOptimize(result.total_spikes);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FunctionalSimStep)->Arg(8)->Arg(32);
+
+void BM_MapNetwork(benchmark::State& state) {
+  const auto spec = snn::cifar_cnn();  // largest benchmark
+  const auto cfg = core::config_with_mca(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const core::Mapping m = core::map_network(spec.topology, cfg);
+    benchmark::DoNotOptimize(m.total_mcas);
+  }
+}
+BENCHMARK(BM_MapNetwork)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ExecutorReplay(benchmark::State& state) {
+  const auto spec = snn::mnist_mlp();
+  snn::Network net(spec.topology);
+  Rng rng(4);
+  net.init_random(rng, 1.0f);
+  net.set_uniform_threshold(2.0);
+  snn::SimConfig cfg;
+  cfg.timesteps = 16;
+  snn::Simulator sim(net, cfg);
+  std::vector<float> img(784);
+  for (auto& p : img) p = static_cast<float>(rng.uniform(0.0, 0.3));
+  const snn::SpikeTrace trace = sim.run(img, rng).trace;
+  const core::Mapping mapping =
+      core::map_network(spec.topology, core::default_config());
+  const core::Executor executor(spec.topology, mapping);
+  for (auto _ : state) {
+    const core::RunReport r = executor.run(trace);
+    benchmark::DoNotOptimize(r.energy);
+  }
+}
+BENCHMARK(BM_ExecutorReplay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

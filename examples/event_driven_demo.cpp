@@ -1,0 +1,96 @@
+// Event-driven computation demo (paper section 3.2).
+//
+// Shows the zero-check levers working on real spike statistics: MNIST-like
+// images (black background, long zero runs) versus CIFAR-like images
+// (dense colour, short runs), and the resulting energy difference on the
+// same network shape.
+//
+//   ./event_driven_demo
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/resparc.hpp"
+#include "data/synthetic.hpp"
+#include "snn/benchmarks.hpp"
+#include "snn/simulator.hpp"
+#include "snn/stats.hpp"
+
+namespace {
+
+using namespace resparc;
+
+struct DemoResult {
+  double zero32, zero64, zero128;  // all-zero packet fractions (input layer)
+  double energy_on_uj, energy_off_uj;
+  std::size_t mca_skips, bus_skips;
+};
+
+DemoResult run(snn::DatasetKind kind) {
+  const data::SyntheticOptions opt{
+      .count = 3, .seed = 21, .noise = 0.03, .jitter_pixels = 1.0};
+  // The SVHN/CIFAR MLP benchmarks consume the 16x16x3 downsampled input.
+  const data::Dataset ds = kind == snn::DatasetKind::kMnistLike
+                               ? data::make_synthetic(kind, opt)
+                               : data::make_synthetic_downsampled(kind, opt);
+  const snn::Topology topo = snn::small_mlp_topology(kind);
+  snn::Network net(topo);
+  Rng rng(9);
+  net.init_random(rng, 1.0f);
+  snn::SimConfig cfg;
+  cfg.timesteps = 32;
+  snn::calibrate_thresholds(net, ds.images, cfg, rng, 0.10);
+  snn::Simulator sim(net, cfg);
+
+  DemoResult result{};
+  std::vector<snn::SpikeTrace> traces;
+  snn::PacketStats p32, p64, p128;
+  for (const auto& img : ds.images) {
+    traces.push_back(sim.run(img, rng).trace);
+    for (auto [bits, stats] :
+         {std::pair{32u, &p32}, {64u, &p64}, {128u, &p128}}) {
+      const snn::PacketStats s =
+          snn::layer_packet_stats(traces.back(), 0, bits);
+      stats->packets += s.packets;
+      stats->zero_packets += s.zero_packets;
+    }
+  }
+  result.zero32 = p32.zero_fraction();
+  result.zero64 = p64.zero_fraction();
+  result.zero128 = p128.zero_fraction();
+
+  core::ResparcConfig on = core::config_with_mca(32);
+  core::ResparcConfig off = on;
+  off.event_driven = false;
+  core::ResparcChip chip_on(on), chip_off(off);
+  chip_on.load(topo);
+  chip_off.load(topo);
+  const core::RunReport r_on = chip_on.execute(traces);
+  const core::RunReport r_off = chip_off.execute(traces);
+  result.energy_on_uj = r_on.energy.total_pj() * 1e-6;
+  result.energy_off_uj = r_off.energy.total_pj() * 1e-6;
+  result.mca_skips = r_on.events.mca_skips;
+  result.bus_skips = r_on.events.bus_skips;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== event-driven computation on RESPARC-32 ==\n\n");
+  for (auto kind : {snn::DatasetKind::kMnistLike, snn::DatasetKind::kCifarLike}) {
+    const DemoResult r = run(kind);
+    std::printf("%s-like input:\n", snn::to_string(kind).c_str());
+    std::printf("  all-zero packet fraction: %4.1f%% @32b, %4.1f%% @64b, %4.1f%% @128b\n",
+                100 * r.zero32, 100 * r.zero64, 100 * r.zero128);
+    std::printf("  zero-checks skipped %zu crossbar reads and %zu bus words\n",
+                r.mca_skips, r.bus_skips);
+    std::printf("  energy: %.3f uJ with event-drivenness, %.3f uJ without "
+                "(%.1f%% saved)\n\n",
+                r.energy_on_uj, r.energy_off_uj,
+                100.0 * (r.energy_off_uj - r.energy_on_uj) / r.energy_off_uj);
+  }
+  std::printf(
+      "Sparse (MNIST-like) inputs produce many skippable packets; dense\n"
+      "colour images few — the texture behind the paper's Fig. 13.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Technology explorer — the paper's "technology-aware mapping" in action.
+//
+// For two memristive technologies (PCM, Ag-Si) this example filters the
+// candidate MCA sizes by a wire-reliability constraint, maps the MNIST
+// benchmarks at every permitted size, and reports the energy-optimal
+// choice per network (paper contribution #3).
+//
+//   ./technology_explorer
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/techaware.hpp"
+#include "data/synthetic.hpp"
+#include "snn/benchmarks.hpp"
+#include "snn/simulator.hpp"
+
+namespace {
+
+using namespace resparc;
+
+std::vector<snn::SpikeTrace> make_traces(const snn::BenchmarkSpec& spec) {
+  const data::Dataset ds = data::make_synthetic(
+      spec.dataset, {.count = 2, .seed = 11, .noise = 0.03, .jitter_pixels = 1.0});
+  snn::Network net(spec.topology);
+  Rng rng(5);
+  net.init_random(rng, 1.0f);
+  snn::SimConfig cfg;
+  cfg.timesteps = 24;
+  snn::calibrate_thresholds(net, ds.images, cfg, rng, 0.10);
+  snn::Simulator sim(net, cfg);
+  std::vector<snn::SpikeTrace> traces;
+  for (const auto& img : ds.images) traces.push_back(sim.run(img, rng).trace);
+  return traces;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> sizes{32, 64, 128, 256};
+
+  for (const tech::Technology& technology :
+       {tech::pcm_technology(), tech::agsi_technology()}) {
+    // Ag-Si's higher resistance tolerates more wire drop than PCM's 20k
+    // on-state; the same wiring therefore permits larger Ag-Si arrays.
+    const auto permitted =
+        core::permissible_sizes(sizes, technology, 15.0, 0.75);
+    std::printf("technology %s: permitted MCA sizes {", technology.name.c_str());
+    for (std::size_t n : permitted) std::printf(" %zu", n);
+    std::printf(" }\n");
+
+    for (const auto& spec : {snn::mnist_mlp(), snn::mnist_cnn()}) {
+      const auto traces = make_traces(spec);
+      core::ResparcConfig base = core::default_config();
+      base.technology = technology;
+      const core::TechAwareResult result =
+          core::explore_mca_sizes(spec.topology, traces, base, permitted);
+      std::printf("  %-10s ->", spec.topology.name().c_str());
+      for (const auto& c : result.candidates)
+        std::printf("  N%-3zu %8.3f uJ (util %4.1f%%)", c.mca_size,
+                    c.energy_pj * 1e-6, 100.0 * c.utilization);
+      std::printf("  => pick N%zu\n", result.best().mca_size);
+    }
+  }
+  std::printf(
+      "\nThe chip picks the largest reliable array for dense MLPs and an\n"
+      "intermediate size for CNNs — 'technology-aware' mapping (section 1).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+
+namespace resparc {
+namespace {
+
+std::string escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Csv::Csv(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Csv::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+bool Csv::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << escape(row[i]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return static_cast<bool>(out);
+}
+
+}  // namespace resparc

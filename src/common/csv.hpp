@@ -1,0 +1,31 @@
+// CSV emitter: the machine-readable twin of Table.
+//
+// Benches write one CSV per figure next to their stdout table so results can
+// be re-plotted without re-running the simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace resparc {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file.
+class Csv {
+ public:
+  explicit Csv(std::vector<std::string> headers);
+
+  /// Appends a row (quoted/escaped as needed on write).
+  void add_row(std::vector<std::string> cells);
+
+  /// Writes to `path`; returns false (without throwing) if the file cannot
+  /// be opened — benches treat CSV output as best-effort.
+  bool write(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace resparc

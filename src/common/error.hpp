@@ -1,0 +1,49 @@
+// Error types shared by all RESPARC modules.
+//
+// The library reports contract violations (bad configurations, impossible
+// mappings) with exceptions derived from resparc::Error so callers can
+// distinguish library failures from std:: failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace resparc {
+
+/// Base class of every exception thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configuration value is out of its documented domain
+/// (e.g. a crossbar with zero rows, a negative supply voltage).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Thrown when a network cannot be placed onto the requested fabric
+/// (e.g. a layer wider than the whole chip with spill disabled).
+class MappingError : public Error {
+ public:
+  explicit MappingError(const std::string& what) : Error("mapping error: " + what) {}
+};
+
+/// Thrown on dimension mismatches between tensors/layers/traces.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error("shape error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_config(const std::string& what) { throw ConfigError(what); }
+}  // namespace detail
+
+/// Validates a configuration precondition; throws ConfigError on failure.
+/// Used at public API boundaries (I.5/I.6: state and check preconditions).
+inline void require(bool cond, const std::string& what) {
+  if (!cond) detail::throw_config(what);
+}
+
+}  // namespace resparc

@@ -1,0 +1,105 @@
+// Dense row-major matrix of float.
+//
+// This is the weight container shared by the SNN substrate, the trainer and
+// the crossbar mapper.  It is a concrete regular type (C.10/C.11): value
+// semantics, bounds-checked element access in debug, contiguous storage so
+// rows can be handed to crossbars as spans.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace resparc {
+
+/// Row-major dense matrix of float with value semantics.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, float fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from a flat row-major buffer; size must equal rows*cols.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> flat)
+      : rows_(rows), cols_(cols), data_(std::move(flat)) {
+    if (data_.size() != rows_ * cols_)
+      throw ShapeError("Matrix: flat buffer size does not match rows*cols");
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Element access (unchecked in release; asserted in debug).
+  float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws ShapeError when out of range.
+  float& at(std::size_t r, std::size_t c) {
+    if (r >= rows_ || c >= cols_) throw ShapeError("Matrix::at out of range");
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw ShapeError("Matrix::at out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// View of one row as a contiguous span.
+  std::span<float> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Whole storage as a flat span (row-major).
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  /// Sets every element to `value`.
+  void fill(float value) { data_.assign(data_.size(), value); }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// y = W^T x convention used by layers: out[c] = sum_r x[r] * W(r, c).
+/// W is stored input-major (rows = inputs, cols = outputs) to mirror how
+/// connectivity matrices map onto crossbars (paper Fig. 2).
+inline void matvec_in_major(const Matrix& w, std::span<const float> x,
+                            std::span<float> out) {
+  if (x.size() != w.rows() || out.size() != w.cols())
+    throw ShapeError("matvec_in_major: dimension mismatch");
+  for (auto& v : out) v = 0.0f;
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const float xv = x[r];
+    if (xv == 0.0f) continue;  // event-driven: skip silent inputs
+    const auto wrow = w.row(r);
+    for (std::size_t c = 0; c < w.cols(); ++c) out[c] += xv * wrow[c];
+  }
+}
+
+}  // namespace resparc

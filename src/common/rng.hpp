@@ -1,0 +1,110 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (dataset synthesis, weight
+// initialisation, Poisson spike encoding) draws from this generator so that
+// a run is reproducible from a single 64-bit seed.  The engine is
+// xoshiro256** (Blackman & Vigna, 2018): fast, tiny state, and — unlike
+// std::mt19937 — identical output across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace resparc {
+
+/// xoshiro256** engine with SplitMix64 seeding.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be plugged into
+/// <random> distributions, though the convenience members below cover all
+/// library needs without libstdc++-specific distribution behaviour.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit value via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-seeds in place; the next draw after reseed(s) equals a fresh Rng(s).
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion: decorrelates consecutive seeds.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) word = next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  /// Next raw 64-bit draw.
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n); n must be > 0.  Uses rejection to kill bias.
+  std::uint64_t below(std::uint64_t n) {
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586476925286766559 * u2;
+    cached_ = radius * std::sin(theta);
+    has_cached_ = true;
+    return radius * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli draw: true with probability p (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace resparc

@@ -1,0 +1,44 @@
+// ASCII table emitter used by the benchmark harnesses.
+//
+// Every figure/table bench prints its rows through this class so the output
+// format (and hence EXPERIMENTS.md) stays uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace resparc {
+
+/// Builds and renders a left/right-aligned ASCII table.
+///
+/// Usage:
+///   Table t({"net", "energy (uJ)", "speedup"});
+///   t.add_row({"MNIST-MLP", "1.23", "412x"});
+///   t.print(std::cout);
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; pads/truncates to the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` digits after the point.
+  static std::string num(double value, int precision = 3);
+
+  /// Convenience: formats "NNNx" multiplier strings (e.g. speedups).
+  static std::string factor(double value, int precision = 1);
+
+  /// Renders with box-drawing separators to `os`.
+  void print(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace resparc

@@ -1,0 +1,67 @@
+// Minimal CHW tensor shape and container used by the conv/pool layers.
+//
+// Images and feature maps are stored channel-major (C, H, W) in one
+// contiguous buffer, which keeps the conv inner loops cache-friendly and
+// maps directly onto the "flatten to connectivity matrix" step the crossbar
+// mapper performs.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace resparc {
+
+/// Shape of a (channels, height, width) tensor.
+struct Shape3 {
+  std::size_t c = 0;
+  std::size_t h = 0;
+  std::size_t w = 0;
+
+  std::size_t size() const { return c * h * w; }
+  friend bool operator==(const Shape3&, const Shape3&) = default;
+};
+
+/// Dense CHW tensor of float with value semantics.
+class Tensor3 {
+ public:
+  Tensor3() = default;
+
+  explicit Tensor3(Shape3 shape) : shape_(shape), data_(shape.size(), 0.0f) {}
+
+  Tensor3(Shape3 shape, std::vector<float> flat)
+      : shape_(shape), data_(std::move(flat)) {
+    if (data_.size() != shape_.size())
+      throw ShapeError("Tensor3: flat buffer size does not match shape");
+  }
+
+  const Shape3& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+
+  /// Element access at (channel, row, col); asserted in debug builds.
+  float& operator()(std::size_t c, std::size_t y, std::size_t x) {
+    assert(c < shape_.c && y < shape_.h && x < shape_.w);
+    return data_[(c * shape_.h + y) * shape_.w + x];
+  }
+  float operator()(std::size_t c, std::size_t y, std::size_t x) const {
+    assert(c < shape_.c && y < shape_.h && x < shape_.w);
+    return data_[(c * shape_.h + y) * shape_.w + x];
+  }
+
+  /// Flat row-major (C,H,W) view; the SNN input layer consumes this order.
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  void fill(float value) { data_.assign(data_.size(), value); }
+
+  friend bool operator==(const Tensor3&, const Tensor3&) = default;
+
+ private:
+  Shape3 shape_{};
+  std::vector<float> data_;
+};
+
+}  // namespace resparc

@@ -1,0 +1,40 @@
+// Physical-unit helpers.
+//
+// Energies are carried as double picojoules and times as double nanoseconds
+// throughout the library; these constants and converters keep the exponents
+// out of the model code.  (A full strong-unit type would obscure the simple
+// arithmetic the cost models do; the naming convention *_pj / *_ns plus
+// these helpers is the contract.)
+#pragma once
+
+namespace resparc {
+
+// -- scale factors into the canonical units (pJ, ns) ------------------------
+
+inline constexpr double kFemto_pJ = 1e-3;   ///< 1 fJ in pJ
+inline constexpr double kPico_pJ = 1.0;     ///< 1 pJ in pJ
+inline constexpr double kNano_pJ = 1e3;     ///< 1 nJ in pJ
+inline constexpr double kMicro_pJ = 1e6;    ///< 1 uJ in pJ
+
+inline constexpr double kPico_ns = 1e-3;    ///< 1 ps in ns
+inline constexpr double kNano_ns = 1.0;     ///< 1 ns in ns
+inline constexpr double kMicro_ns = 1e3;    ///< 1 us in ns
+inline constexpr double kMilli_ns = 1e6;    ///< 1 ms in ns
+
+// -- converters --------------------------------------------------------------
+
+/// Watts dissipated over nanoseconds -> picojoules (1 W * 1 ns = 1 nJ = 1e3 pJ).
+inline constexpr double watts_over_ns_to_pj(double watts, double ns) {
+  return watts * ns * 1e3;
+}
+
+/// Clock frequency in MHz -> period in ns.
+inline constexpr double mhz_to_period_ns(double mhz) { return 1e3 / mhz; }
+
+/// Picojoules -> microjoules (for human-readable reports).
+inline constexpr double pj_to_uj(double pj) { return pj * 1e-6; }
+
+/// Nanoseconds -> microseconds (for human-readable reports).
+inline constexpr double ns_to_us(double ns) { return ns * 1e-3; }
+
+}  // namespace resparc

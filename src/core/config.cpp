@@ -1,0 +1,34 @@
+#include "core/config.hpp"
+
+#include "common/error.hpp"
+
+namespace resparc::core {
+
+void ResparcConfig::validate() const {
+  require(mca_size >= 8 && mca_size <= 1024, "MCA size must be in [8,1024]");
+  require(mcas_per_mpe >= 1 && mcas_per_mpe <= 16,
+          "MCAs per mPE must be in [1,16]");
+  require(nc_dim >= 2 && nc_dim <= 16, "NeuroCell dimension must be in [2,16]");
+  require(buffer_depth >= 1, "buffer depth must be positive");
+  require(input_sram_bytes >= 1024, "input SRAM must be at least 1 KiB");
+  technology.validate();
+}
+
+std::string ResparcConfig::label() const {
+  return "RESPARC-" + std::to_string(mca_size);
+}
+
+ResparcConfig default_config() {
+  ResparcConfig c;
+  c.validate();
+  return c;
+}
+
+ResparcConfig config_with_mca(std::size_t mca_size) {
+  ResparcConfig c;
+  c.mca_size = mca_size;
+  c.validate();
+  return c;
+}
+
+}  // namespace resparc::core

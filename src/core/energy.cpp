@@ -1,0 +1,21 @@
+#include "core/energy.hpp"
+
+namespace resparc::core {
+
+EventCounts& EventCounts::operator+=(const EventCounts& other) {
+  mca_activations += other.mca_activations;
+  mca_skips += other.mca_skips;
+  neuron_integrations += other.neuron_integrations;
+  neuron_fires += other.neuron_fires;
+  buffer_bits += other.buffer_bits;
+  switch_flits += other.switch_flits;
+  switch_skips += other.switch_skips;
+  bus_words += other.bus_words;
+  bus_skips += other.bus_skips;
+  ccu_transfers += other.ccu_transfers;
+  sram_reads += other.sram_reads;
+  sram_writes += other.sram_writes;
+  return *this;
+}
+
+}  // namespace resparc::core

@@ -1,0 +1,236 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tech/sram.hpp"
+
+namespace resparc::core {
+
+using snn::SpikeVector;
+
+namespace {
+
+std::size_t nonzero_words(const SpikeVector& v) {
+  std::size_t n = 0;
+  for (auto w : v.words())
+    if (w) ++n;
+  return n;
+}
+
+/// Cycles to move one word across the global bus: SRAM staging write plus
+/// a broadcast read (Fig. 7(b): serial transfer through the shared bus).
+constexpr double kBusCyclesPerWord = 2.0;
+
+}  // namespace
+
+Executor::Executor(const snn::Topology& topology, const Mapping& mapping)
+    : topology_(topology), mapping_(mapping) {
+  require(mapping.layers.size() == topology.layer_count(),
+          "executor: mapping does not match topology");
+}
+
+std::size_t Executor::slice_bits(const InputSlice& slice,
+                                 const Shape3& in_shape) const {
+  if (slice.kind == SliceKind::kContiguous) return slice.end - slice.begin;
+  return in_shape.c * (slice.y1 - slice.y0 + 1) * (slice.x1 - slice.x0 + 1);
+}
+
+std::size_t Executor::active_in_slice(const InputSlice& slice,
+                                      const Shape3& in_shape,
+                                      const SpikeVector& spikes) const {
+  if (slice.kind == SliceKind::kContiguous)
+    return spikes.count_range(slice.begin, slice.end);
+  std::size_t active = 0;
+  for (std::size_t c = 0; c < in_shape.c; ++c) {
+    for (std::size_t y = slice.y0; y <= slice.y1; ++y) {
+      const std::size_t base = (c * in_shape.h + y) * in_shape.w;
+      active += spikes.count_range(base + slice.x0, base + slice.x1 + 1);
+    }
+  }
+  return active;
+}
+
+RunReport Executor::run(const snn::SpikeTrace& trace) const {
+  const ResparcConfig& cfg = mapping_.config;
+  const tech::Technology& t = cfg.technology;
+  const tech::DigitalCosts& d = t.digital;
+  const tech::Memristor device{t.memristor};
+  const double cell_pj = device.mean_cell_read_energy_pj();
+  const double cell_off_pj = device.cell_read_energy_pj(device.g_min());
+  const double sneak = device.params().sneak_leak_fraction;
+  const tech::SramModel sram{
+      {.capacity_bytes = cfg.input_sram_bytes, .word_bits = 64}};
+
+  require(trace.layer_count() == topology_.layer_count() + 1,
+          "executor: trace does not match topology");
+  const std::size_t T = trace.timesteps();
+  require(T > 0, "executor: empty trace");
+
+  RunReport report;
+  report.classifications = 1;
+  EnergyBreakdown& e = report.energy;
+  EventCounts& ev = report.events;
+
+  double cycles_pipelined = 0.0;
+  double cycles_serial = 0.0;
+
+  for (std::size_t step = 0; step < T; ++step) {
+    double stage_max = 0.0;
+
+    // -- input broadcast from the SRAM (zero-check at the read port) -----
+    {
+      const SpikeVector& in0 = trace.layers[0][step];
+      const std::size_t total = in0.word_count();
+      const std::size_t nz = nonzero_words(in0);
+      const std::size_t sent = cfg.event_driven ? nz : total;
+      ev.sram_writes += sent;  // host deposits the encoded input
+      ev.sram_reads += sent;
+      ev.bus_words += sent;
+      if (cfg.event_driven) ev.bus_skips += total - nz;
+      const double stage = kBusCyclesPerWord * static_cast<double>(sent);
+      stage_max = std::max(stage_max, stage);
+      cycles_serial += stage;
+    }
+
+    for (std::size_t l = 0; l < topology_.layer_count(); ++l) {
+      const snn::LayerInfo& li = topology_.layers()[l];
+      const LayerMapping& lm = mapping_.layers[l];
+      const SpikeVector& in_vec = trace.layers[l][step];
+      const SpikeVector& out_vec = trace.layers[l + 1][step];
+
+      bool layer_active = false;
+      for (const McaGroup& g : lm.groups) {
+        const std::size_t bits = slice_bits(g.slice, li.in_shape);
+        const std::size_t active = active_in_slice(g.slice, li.in_shape, in_vec);
+        if (active == 0 && cfg.event_driven) {
+          ev.mca_skips += g.mca_count;
+          continue;
+        }
+        layer_active = layer_active || active > 0;
+        const double fraction =
+            bits ? static_cast<double>(active) / static_cast<double>(bits) : 0.0;
+        // Programmed cells on driven rows dissipate at the mean programmed
+        // conductance; the *unmapped* crosspoints of a driven row still sit
+        // at G_off and leak V^2*G_off*t each — the physical cost of poor
+        // utilisation that makes oversized MCAs lose on sparse (CNN)
+        // connectivity (paper section 5.2, Fig. 12(c)).
+        const double driven_rows =
+            fraction * static_cast<double>(g.rows_used * g.mca_count);
+        const double driven_cells =
+            driven_rows * static_cast<double>(cfg.mca_size);
+        const double used_cells = fraction * static_cast<double>(g.synapses);
+        e.crossbar_pj += used_cells * cell_pj +
+                         std::max(0.0, driven_cells - used_cells) * cell_off_pj;
+        // Sneak paths: in a selectorless array every *half-selected* cell
+        // leaks a fraction of a full read during each access [Liang,
+        // TED'10] — the total grows with the square of the array size,
+        // which is the paper's reason large MCAs lose (sections 1, 5.2).
+        if (sneak > 0.0) {
+          const double total_cells =
+              static_cast<double>(g.mca_count) *
+              static_cast<double>(cfg.mca_size * cfg.mca_size);
+          e.crossbar_pj +=
+              sneak * std::max(0.0, total_cells - driven_cells) * cell_off_pj;
+        }
+        ev.mca_activations += g.mca_count;
+        // The iBUFF feeds all N row drivers of each array regardless of how
+        // many rows carry mapped synapses, and every physical column's
+        // sense/interface path cycles on a read, used or not.
+        ev.buffer_bits += g.mca_count * cfg.mca_size;
+        e.control_pj += static_cast<double>(g.mca_count) * d.mca_control_pj +
+                        static_cast<double>(g.mca_count * cfg.mca_size) *
+                            d.column_interface_pj;
+        ev.neuron_integrations += g.cols_used;
+      }
+
+      const std::size_t fires = out_vec.count();
+      ev.neuron_fires += fires;
+
+      if ((layer_active || !cfg.event_driven) &&
+          lm.ccu_transfers_per_neuron > 0)
+        ev.ccu_transfers += li.neurons * lm.ccu_transfers_per_neuron;
+
+      // -- output transfer toward the next layer (or off-chip) -----------
+      const std::size_t total = out_vec.word_count();
+      const std::size_t nz = nonzero_words(out_vec);
+      const std::size_t sent = cfg.event_driven ? nz : total;
+      const bool via_bus = l + 1 < topology_.layer_count()
+                               ? mapping_.boundary_uses_bus(l + 1)
+                               : true;  // final outputs leave on the bus
+      if (via_bus) {
+        ev.bus_words += sent;
+        ev.sram_writes += sent;
+        ev.sram_reads += sent;
+        if (cfg.event_driven) ev.bus_skips += total - nz;
+        e.control_pj += d.gcu_event_pj;  // event flag + tagged broadcast
+      } else {
+        ev.switch_flits += sent;
+        if (cfg.event_driven) ev.switch_skips += total - nz;
+      }
+      // oBUFF write+read of every sent flit plus a tBUFF address lookup.
+      ev.buffer_bits += sent * (2 * static_cast<std::size_t>(t.flit_bits) + 16);
+
+      const double compute_c =
+          (layer_active || !cfg.event_driven)
+              ? static_cast<double>(lm.mux_cycles) + 1.0
+              : 0.0;
+      const double transfer_c =
+          via_bus ? kBusCyclesPerWord * static_cast<double>(sent)
+                  : std::ceil(static_cast<double>(sent) /
+                              static_cast<double>(cfg.nc_dim));
+      const double stage = std::max(compute_c, transfer_c);
+      stage_max = std::max(stage_max, stage);
+      cycles_serial += compute_c + transfer_c;
+    }
+
+    cycles_pipelined += stage_max;
+  }
+
+  // -- convert counters to energy ------------------------------------------
+  e.neuron_pj +=
+      static_cast<double>(ev.neuron_integrations) * d.neuron_integrate_pj +
+      static_cast<double>(ev.neuron_fires) * d.neuron_fire_pj;
+  e.buffer_pj += static_cast<double>(ev.buffer_bits) * d.buffer_bit_pj;
+  e.comm_pj += static_cast<double>(ev.switch_flits) * d.switch_flit_pj +
+               static_cast<double>(ev.bus_words) * d.bus_word_pj +
+               static_cast<double>(ev.ccu_transfers) * d.ccu_transfer_pj +
+               static_cast<double>(ev.sram_reads) * sram.read_energy_pj() +
+               static_cast<double>(ev.sram_writes) * sram.write_energy_pj();
+
+  report.perf.clock_mhz = t.resparc_clock_mhz;
+  report.perf.cycles_pipelined = cycles_pipelined;
+  report.perf.cycles_serial = cycles_serial;
+
+  // Leakage integrates over the steady-state (pipelined) latency: in
+  // throughput mode the chip retires one classification per pipelined
+  // interval, so that is the idle-power window each classification pays.
+  // The leaking silicon is the deployed column periphery (crossbars are
+  // non-volatile), so idle power scales with mapped arrays x columns.
+  const double leak_w =
+      static_cast<double>(mapping_.total_mcas * cfg.mca_size) *
+          d.mca_column_leak_w +
+      sram.leakage_w();
+  e.leakage_pj += leak_w * report.perf.latency_pipelined_ns() * 1e3;  // W*ns -> pJ
+
+  return report;
+}
+
+RunReport Executor::run_all(std::span<const snn::SpikeTrace> traces) const {
+  require(!traces.empty(), "executor: no traces");
+  RunReport total;
+  for (const auto& trace : traces) {
+    const RunReport r = run(trace);
+    total.energy += r.energy;
+    total.events += r.events;
+    total.perf += r.perf;
+    total.classifications += r.classifications;
+  }
+  const double n = static_cast<double>(total.classifications);
+  total.energy /= n;
+  total.perf /= n;
+  return total;
+}
+
+}  // namespace resparc::core

@@ -1,0 +1,51 @@
+// Trace-driven RESPARC executor.
+//
+// Replays spike traces from the functional simulator against a Mapping and
+// counts hardware events per timestep, honouring the event-driven levers of
+// section 3.2 when `config.event_driven` is set:
+//   * an MCA group whose input slice carries no spike this step is skipped
+//     entirely (no buffer read, no crossbar read, no control op);
+//   * spike packets (64-bit flits) that are all zero are dropped before
+//     switch traversal;
+//   * all-zero words read from the input SRAM are not broadcast on the bus.
+//
+// Event counts are converted to energy with the technology cost tables and
+// to cycles with the pipeline model described in DESIGN.md section 7.
+#pragma once
+
+#include "core/energy.hpp"
+#include "core/mapper.hpp"
+#include "snn/topology.hpp"
+#include "snn/trace.hpp"
+
+namespace resparc::core {
+
+/// Executes spike traces against a fixed mapping.
+class Executor {
+ public:
+  /// `topology` must be the one `mapping` was built from; both must outlive
+  /// the executor.
+  Executor(const snn::Topology& topology, const Mapping& mapping);
+
+  /// Replays one presentation (trace from Simulator::run with
+  /// record_trace=true) and returns the per-classification report.
+  RunReport run(const snn::SpikeTrace& trace) const;
+
+  /// Replays many presentations; energy/perf are averaged per
+  /// classification, events are summed.
+  RunReport run_all(std::span<const snn::SpikeTrace> traces) const;
+
+  const Mapping& mapping() const { return mapping_; }
+
+ private:
+  /// Spikes inside an input slice, given the layer's input spike vector.
+  std::size_t active_in_slice(const InputSlice& slice, const Shape3& in_shape,
+                              const snn::SpikeVector& spikes) const;
+  /// Total bits spanned by a slice (denominator of the active fraction).
+  std::size_t slice_bits(const InputSlice& slice, const Shape3& in_shape) const;
+
+  const snn::Topology& topology_;
+  const Mapping& mapping_;
+};
+
+}  // namespace resparc::core

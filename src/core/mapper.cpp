@@ -1,0 +1,221 @@
+#include "core/mapper.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace resparc::core {
+
+using snn::LayerInfo;
+using snn::LayerKind;
+
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// Dense layer: contiguous N-row slices of the fan_in x units matrix.
+void map_dense(const LayerInfo& li, const ResparcConfig& cfg, LayerMapping& lm) {
+  const std::size_t N = cfg.mca_size;
+  const std::size_t F = li.fan_in;
+  const std::size_t U = li.neurons;
+  const std::size_t row_slices = ceil_div(F, N);
+  const std::size_t col_groups = ceil_div(U, N);
+  for (std::size_t s = 0; s < row_slices; ++s) {
+    McaGroup g;
+    g.slice.kind = SliceKind::kContiguous;
+    g.slice.begin = s * N;
+    g.slice.end = std::min(F, (s + 1) * N);
+    g.rows_used = g.slice.end - g.slice.begin;
+    g.mca_count = col_groups;
+    g.cols_used = U;
+    g.synapses = g.rows_used * U;
+    lm.groups.push_back(g);
+  }
+  lm.mux_degree = row_slices;
+}
+
+/// Convolution with fan_in <= N: spatial-window tiling.  The window width
+/// is 1 output position in the paper-baseline policy (rows shared only
+/// across the output channels of one position) and grows to the largest
+/// span fitting N rows under enhanced input sharing.
+void map_conv_windowed(const LayerInfo& li, const ResparcConfig& cfg,
+                       LayerMapping& lm) {
+  const std::size_t N = cfg.mca_size;
+  const std::size_t k = li.spec.kernel;
+  const std::size_t inC = li.in_shape.c;
+  const Shape3 out = li.out_shape;
+  const Shape3 in = li.in_shape;
+  const std::size_t pad = li.spec.same_padding ? k / 2 : 0;
+
+  // Largest square output window whose input span fits in N rows.
+  std::size_t w = 1;
+  if (cfg.enhanced_input_sharing) {
+    while (inC * conv_window_input_span(w + 1, k) *
+                   conv_window_input_span(w + 1, k) <=
+               N &&
+           w + 1 <= std::max(out.h, out.w))
+      ++w;
+  }
+  require(inC * conv_window_input_span(1, k) * conv_window_input_span(1, k) <= N,
+          "map_conv_windowed called with fan_in > N");
+
+  for (std::size_t wy = 0; wy < out.h; wy += w) {
+    for (std::size_t wx = 0; wx < out.w; wx += w) {
+      const std::size_t oy1 = std::min(out.h - 1, wy + w - 1);
+      const std::size_t ox1 = std::min(out.w - 1, wx + w - 1);
+      const std::size_t wh = oy1 - wy + 1;
+      const std::size_t ww = ox1 - wx + 1;
+      // Input extent of the window (clipped at the borders).
+      const std::size_t y0 = wy >= pad ? wy - pad : 0;
+      const std::size_t y1 = std::min(in.h - 1, oy1 + k - 1 - pad);
+      const std::size_t x0 = wx >= pad ? wx - pad : 0;
+      const std::size_t x1 = std::min(in.w - 1, ox1 + k - 1 - pad);
+
+      McaGroup g;
+      g.slice.kind = SliceKind::kWindow;
+      g.slice.y0 = y0;
+      g.slice.y1 = y1;
+      g.slice.x0 = x0;
+      g.slice.x1 = x1;
+      g.rows_used = inC * (y1 - y0 + 1) * (x1 - x0 + 1);
+      const std::size_t outputs = wh * ww * out.c;
+      g.mca_count = ceil_div(outputs, N);
+      g.cols_used = outputs;
+      g.synapses = outputs * li.fan_in;
+      lm.groups.push_back(g);
+    }
+  }
+  lm.mux_degree = 1;
+}
+
+/// Convolution with fan_in > N: per-position im2col slicing; all output
+/// channels at a position share rows.  Groups are per output-row band.
+void map_conv_sliced(const LayerInfo& li, const ResparcConfig& cfg,
+                     LayerMapping& lm) {
+  const std::size_t N = cfg.mca_size;
+  const std::size_t k = li.spec.kernel;
+  const Shape3 out = li.out_shape;
+  const Shape3 in = li.in_shape;
+  const std::size_t pad = li.spec.same_padding ? k / 2 : 0;
+  const std::size_t slices = ceil_div(li.fan_in, N);
+  const std::size_t col_groups = ceil_div(out.c, N);
+
+  for (std::size_t oy = 0; oy < out.h; ++oy) {
+    const std::size_t y0 = oy >= pad ? oy - pad : 0;
+    const std::size_t y1 = std::min(in.h - 1, oy + k - 1 - pad);
+    McaGroup g;
+    g.slice.kind = SliceKind::kWindow;
+    g.slice.y0 = y0;
+    g.slice.y1 = y1;
+    g.slice.x0 = 0;
+    g.slice.x1 = in.w - 1;
+    g.rows_used = N;  // full slices (last partial slice folded into count)
+    g.mca_count = out.w * slices * col_groups;
+    g.cols_used = out.w * out.c;
+    g.synapses = out.w * out.c * li.fan_in;
+    lm.groups.push_back(g);
+  }
+  lm.mux_degree = slices;
+}
+
+/// Average pooling: disjoint windows pack block-diagonally.
+void map_pool(const LayerInfo& li, const ResparcConfig& cfg, LayerMapping& lm) {
+  const std::size_t N = cfg.mca_size;
+  const std::size_t p = li.spec.pool;
+  const Shape3 out = li.out_shape;
+  const Shape3 in = li.in_shape;
+  const std::size_t per_mca = std::max<std::size_t>(1, N / (p * p));
+
+  for (std::size_t c = 0; c < out.c; ++c) {
+    for (std::size_t oy = 0; oy < out.h; ++oy) {
+      McaGroup g;
+      // Inputs of one output row: p consecutive input rows of channel c —
+      // contiguous in flat CHW indexing.
+      g.slice.kind = SliceKind::kContiguous;
+      g.slice.begin = (c * in.h + oy * p) * in.w;
+      g.slice.end = (c * in.h + oy * p + p) * in.w;
+      const std::size_t outputs = out.w;
+      g.mca_count = ceil_div(outputs, per_mca);
+      g.rows_used = std::min(N, per_mca * p * p);
+      g.cols_used = outputs;
+      g.synapses = outputs * p * p;
+      lm.groups.push_back(g);
+    }
+  }
+  lm.mux_degree = 1;
+}
+
+}  // namespace
+
+std::size_t conv_window_input_span(std::size_t w, std::size_t k) {
+  return w + k - 1;
+}
+
+bool Mapping::boundary_uses_bus(std::size_t l) const {
+  if (l == 0) return true;  // input broadcast from the SRAM is always on the bus
+  const LayerMapping& src = layers[l - 1];
+  const LayerMapping& dst = layers[l];
+  return !(src.last_nc == dst.first_nc && dst.first_nc == dst.last_nc &&
+           src.first_nc == src.last_nc);
+}
+
+Mapping map_network(const snn::Topology& topology, const ResparcConfig& config) {
+  config.validate();
+  Mapping m;
+  m.config = config;
+  const std::size_t N = config.mca_size;
+
+  std::size_t next_mpe = 0;
+  for (std::size_t l = 0; l < topology.layer_count(); ++l) {
+    const LayerInfo& li = topology.layers()[l];
+    require(li.neurons > 0, "cannot map a zero-neuron layer");
+    LayerMapping lm;
+    lm.layer = l;
+
+    switch (li.spec.kind) {
+      case LayerKind::kDense:
+        map_dense(li, config, lm);
+        break;
+      case LayerKind::kConv:
+        if (li.fan_in <= N)
+          map_conv_windowed(li, config, lm);
+        else
+          map_conv_sliced(li, config, lm);
+        break;
+      case LayerKind::kAvgPool:
+        map_pool(li, config, lm);
+        break;
+    }
+
+    for (const auto& g : lm.groups) {
+      lm.mca_count += g.mca_count;
+      lm.synapses += g.synapses;
+    }
+    if (lm.synapses != li.synapses)
+      throw MappingError("mapper lost synapses on layer " + std::to_string(l));
+
+    lm.mux_cycles = ceil_div(lm.mux_degree, config.mcas_per_mpe);
+    lm.ccu_transfers_per_neuron = lm.mux_cycles > 0 ? lm.mux_cycles - 1 : 0;
+    lm.mpe_count = ceil_div(lm.mca_count, config.mcas_per_mpe);
+    lm.utilization = static_cast<double>(lm.synapses) /
+                     (static_cast<double>(lm.mca_count) * static_cast<double>(N * N));
+
+    lm.first_mpe = next_mpe;
+    next_mpe += lm.mpe_count;
+    lm.first_nc = lm.first_mpe / config.mpes_per_neurocell();
+    lm.last_nc = (lm.first_mpe + lm.mpe_count - 1) / config.mpes_per_neurocell();
+
+    m.total_mcas += lm.mca_count;
+    m.layers.push_back(std::move(lm));
+  }
+
+  m.total_mpes = next_mpe;
+  m.total_neurocells = ceil_div(next_mpe, config.mpes_per_neurocell());
+  std::size_t synapses = 0;
+  for (const auto& lm : m.layers) synapses += lm.synapses;
+  m.utilization = static_cast<double>(synapses) /
+                  (static_cast<double>(m.total_mcas) * static_cast<double>(N * N));
+  return m;
+}
+
+}  // namespace resparc::core

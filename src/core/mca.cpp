@@ -1,0 +1,60 @@
+#include "core/mca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace resparc::core {
+
+Mca::Mca(std::size_t size, tech::Memristor device)
+    : size_(size), device_(std::move(device)) {
+  require(size_ > 0, "MCA size must be positive");
+}
+
+void Mca::program(const Matrix& weights, std::size_t input_offset,
+                  float scale) {
+  require(weights.rows() <= size_ && weights.cols() <= size_,
+          "MCA: weight slice exceeds array size");
+  rows_used_ = weights.rows();
+  cols_used_ = weights.cols();
+  input_offset_ = input_offset;
+
+  // Quantise to the device's levels — weight w becomes a differential pair
+  // (G+ holds the positive part, G- the negative part).
+  if (scale <= 0.0f)
+    for (float w : weights.flat()) scale = std::max(scale, std::abs(w));
+  weights_ = weights;
+  if (scale > 0.0f) {
+    const float steps = static_cast<float>(device_.levels() - 1);
+    for (float& w : weights_.flat()) {
+      const float m = std::clamp(std::abs(w) / scale, 0.0f, 1.0f);
+      w = std::copysign(std::round(m * steps) / steps * scale, w);
+    }
+  }
+}
+
+std::size_t Mca::accumulate(const snn::SpikeVector& layer_input,
+                            std::span<float> acc) {
+  require(acc.size() >= cols_used_, "MCA: accumulator too small");
+  std::size_t active = 0;
+  double energy = 0.0;
+  const double mean_cell = device_.mean_cell_read_energy_pj();
+  for (std::size_t r = 0; r < rows_used_; ++r) {
+    const std::size_t idx = input_offset_ + r;
+    if (idx >= layer_input.size() || !layer_input.get(idx)) continue;
+    ++active;
+    const auto row = weights_.row(r);
+    for (std::size_t c = 0; c < cols_used_; ++c) acc[c] += row[c];
+    // Differential pair: both devices of the row conduct on a spike.
+    energy += 2.0 * mean_cell * static_cast<double>(cols_used_);
+  }
+  last_energy_pj_ = energy;
+  if (active > 0) {
+    total_energy_pj_ += energy;
+    ++reads_;
+  }
+  return active;
+}
+
+}  // namespace resparc::core

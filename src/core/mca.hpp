@@ -1,0 +1,67 @@
+// Behavioral MCA unit (Fig. 2(b)).
+//
+// Couples the *functional* view (signed quantised weights producing exact
+// partial sums, so architecture runs are bit-identical to the functional
+// simulator) with the *electrical* view (a differential pair of
+// tech::CrossbarModel devices per weight for read-energy accounting).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/matrix.hpp"
+#include "snn/trace.hpp"
+#include "tech/crossbar_model.hpp"
+
+namespace resparc::core {
+
+/// One crossbar inside an mPE, programmed with a slice of a layer's
+/// connectivity matrix.
+class Mca {
+ public:
+  /// Creates an N x N array for the given device technology.
+  Mca(std::size_t size, tech::Memristor device);
+
+  std::size_t size() const { return size_; }
+  std::size_t rows_used() const { return rows_used_; }
+  std::size_t cols_used() const { return cols_used_; }
+
+  /// Programs a rows x cols signed-weight slice (rows, cols <= N) whose
+  /// input rows start at `input_offset` within the layer's input vector.
+  /// Weights are quantised to the device's level count (differential
+  /// G+/G- pair per weight).  `scale` sets the full-range magnitude (the
+  /// layer's max |w|, so all slices of a layer quantise identically);
+  /// scale <= 0 uses the slice's own maximum.
+  void program(const Matrix& weights, std::size_t input_offset,
+               float scale = 0.0f);
+
+  std::size_t input_offset() const { return input_offset_; }
+
+  /// Computes partial sums for the mapped columns from the layer's input
+  /// spikes (only this MCA's row slice is consulted).  Adds into `acc`.
+  /// Returns the number of active rows (0 means the read was skippable).
+  std::size_t accumulate(const snn::SpikeVector& layer_input,
+                         std::span<float> acc);
+
+  /// Crossbar read energy (pJ) of the last accumulate() call.
+  double last_read_energy_pj() const { return last_energy_pj_; }
+
+  /// Total crossbar read energy (pJ) since construction.
+  double total_read_energy_pj() const { return total_energy_pj_; }
+
+  /// Reads actually performed (at least one active row).
+  std::size_t read_count() const { return reads_; }
+
+ private:
+  std::size_t size_;
+  tech::Memristor device_;
+  Matrix weights_;  // quantised signed weights, rows_used x cols_used
+  std::size_t rows_used_ = 0;
+  std::size_t cols_used_ = 0;
+  std::size_t input_offset_ = 0;
+  double last_energy_pj_ = 0.0;
+  double total_energy_pj_ = 0.0;
+  std::size_t reads_ = 0;
+};
+
+}  // namespace resparc::core

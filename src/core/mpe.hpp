@@ -1,0 +1,90 @@
+// Behavioral macro Processing Engine (paper Fig. 4).
+//
+// An mPE owns up to `mcas_per_mpe` MCAs whose currents C1..C4 combine on a
+// shared wire, an external current input C_ext (from a neighbouring mPE
+// via the Current Control Unit), a population of IF neurons, and the three
+// buffers (iBUFF/oBUFF/tBUFF).  An mPE either hosts neurons (integrating
+// local + external currents) or serves as a *helper* that forwards its
+// combined MCA currents to the hosting mPE.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/mca.hpp"
+#include "snn/neuron.hpp"
+#include "snn/trace.hpp"
+#include "tech/memristor.hpp"
+
+namespace resparc::core {
+
+/// Activity counters of one mPE.
+struct MpeCounters {
+  std::size_t mca_reads = 0;       ///< crossbar reads performed
+  std::size_t mca_skips = 0;       ///< reads skipped (silent input slice)
+  std::size_t ibuff_bits = 0;      ///< input-buffer bits moved
+  std::size_t obuff_bits = 0;      ///< output-buffer bits moved
+  std::size_t neuron_fires = 0;
+  std::size_t ccu_out = 0;         ///< current transfers sent to a neighbour
+};
+
+/// One macro Processing Engine.
+class Mpe {
+ public:
+  Mpe(std::size_t mca_size, std::size_t mcas_per_mpe, tech::Memristor device);
+
+  /// Adds a programmed MCA (weight slice + its offset into the layer
+  /// input).  `scale` is the layer-wide quantisation scale (see
+  /// Mca::program).  Throws when the mPE is already full.
+  void add_mca(const Matrix& weights, std::size_t input_offset,
+               float scale = 0.0f);
+
+  /// Declares this mPE the host of `count` output neurons (count must not
+  /// exceed the MCA column capacity).
+  void host_neurons(std::size_t count, const snn::IfParams& params);
+
+  bool hosts_neurons() const { return population_ != nullptr; }
+  std::size_t neuron_count() const;
+  std::size_t mca_count() const { return mcas_.size(); }
+
+  /// Phase 1: read all local MCAs against the layer input; currents sum
+  /// into the internal accumulator.  Event-driven: silent slices skip.
+  void integrate_local(const snn::SpikeVector& layer_input);
+
+  /// Phase 1b: add external currents arriving through the CCU (C_ext).
+  void integrate_external(std::span<const float> currents);
+
+  /// Combined currents (for a helper mPE forwarding to its host).
+  std::span<const float> currents() const { return accumulator_; }
+
+  /// Marks the accumulated currents as sent through the CCU (counters).
+  void send_currents();
+
+  /// Phase 2 (hosts only): step the IF population; returns spikes.
+  snn::SpikeVector fire();
+
+  /// Clears accumulated currents (start of a timestep).
+  void begin_step();
+
+  /// Resets neuron membranes and counters (new presentation).
+  void reset();
+
+  const MpeCounters& counters() const { return counters_; }
+
+  /// Total crossbar read energy (pJ) across all local MCAs.
+  double crossbar_energy_pj() const;
+
+ private:
+  std::size_t mca_size_;
+  std::size_t capacity_;
+  tech::Memristor device_;
+  std::vector<Mca> mcas_;
+  std::vector<float> accumulator_;
+  std::unique_ptr<snn::IfPopulation> population_;
+  snn::IfParams neuron_params_{};
+  MpeCounters counters_{};
+};
+
+}  // namespace resparc::core

@@ -1,0 +1,67 @@
+#include "core/resparc.hpp"
+
+#include "common/error.hpp"
+#include "tech/sram.hpp"
+
+namespace resparc::core {
+
+NeuroCellMetrics neurocell_metrics(const ResparcConfig& config) {
+  config.validate();
+  const tech::DigitalCosts& d = config.technology.digital;
+  NeuroCellMetrics m;
+  m.mpe_count = config.mpes_per_neurocell();
+  m.switch_count = config.switches_per_neurocell();
+  m.mcas_per_mpe = config.mcas_per_mpe;
+  m.frequency_mhz = config.technology.resparc_clock_mhz;
+
+  const tech::SramModel sram{
+      {.capacity_bytes = config.input_sram_bytes, .word_bits = 64}};
+
+  m.area_mm2 = static_cast<double>(m.mpe_count) * d.area_per_mpe_mm2 +
+               static_cast<double>(m.switch_count) * d.area_per_switch_mm2 +
+               d.area_gcu_mm2 + sram.area_mm2();
+  m.gate_count = static_cast<double>(m.mpe_count) * d.gates_per_mpe +
+                 static_cast<double>(m.switch_count) * d.gates_per_switch +
+                 d.gates_gcu;
+
+  // Peak dynamic power: every MCA sequenced each cycle (control + iBUFF
+  // read) and every switch forwarding one flit per cycle, at f_clk.
+  const double mca_event_pj =
+      d.mca_control_pj +
+      static_cast<double>(config.mca_size) * d.buffer_bit_pj;
+  const double per_cycle_pj =
+      static_cast<double>(config.mcas_per_neurocell()) * mca_event_pj +
+      static_cast<double>(m.switch_count) * d.switch_flit_pj +
+      d.gcu_event_pj;
+  // pJ * MHz = uW; convert to mW.
+  m.power_mw = per_cycle_pj * m.frequency_mhz * 1e-3;
+  return m;
+}
+
+ResparcChip::ResparcChip(ResparcConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+const Mapping& ResparcChip::load(const snn::Topology& topology) {
+  topology_ = topology;
+  mapping_ = map_network(*topology_, config_);
+  executor_ = std::make_unique<Executor>(*topology_, *mapping_);
+  return *mapping_;
+}
+
+const Mapping& ResparcChip::mapping() const {
+  require(mapping_.has_value(), "ResparcChip: no network loaded");
+  return *mapping_;
+}
+
+RunReport ResparcChip::execute(const snn::SpikeTrace& trace) const {
+  require(executor_ != nullptr, "ResparcChip: no network loaded");
+  return executor_->run(trace);
+}
+
+RunReport ResparcChip::execute(std::span<const snn::SpikeTrace> traces) const {
+  require(executor_ != nullptr, "ResparcChip: no network loaded");
+  return executor_->run_all(traces);
+}
+
+}  // namespace resparc::core

@@ -1,0 +1,70 @@
+// ResparcChip: the top-level facade of the architecture model.
+//
+// Bundles configuration, mapping and execution behind one call sequence:
+//
+//   ResparcChip chip(config);
+//   chip.load(topology);                 // maps the SNN onto the fabric
+//   RunReport r = chip.execute(traces);  // replays functional spike traces
+//
+// and provides the implementation-metric roll-up that reproduces the
+// paper's Fig. 8 table (area / power / gate count / frequency of one
+// NeuroCell).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "core/config.hpp"
+#include "core/executor.hpp"
+#include "core/mapper.hpp"
+#include "snn/topology.hpp"
+#include "snn/trace.hpp"
+
+namespace resparc::core {
+
+/// Implementation metrics of one NeuroCell (paper Fig. 8).
+struct NeuroCellMetrics {
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;      ///< peak dynamic power at full activity
+  double gate_count = 0.0;
+  double frequency_mhz = 0.0;
+  std::size_t mpe_count = 0;
+  std::size_t switch_count = 0;
+  std::size_t mcas_per_mpe = 0;
+};
+
+/// Computes the Fig. 8 metric roll-up for a configuration.
+NeuroCellMetrics neurocell_metrics(const ResparcConfig& config);
+
+/// A configured RESPARC chip that can host one network at a time.
+class ResparcChip {
+ public:
+  explicit ResparcChip(ResparcConfig config);
+
+  const ResparcConfig& config() const { return config_; }
+
+  /// Maps `topology` onto the fabric (replacing any previous network).
+  /// Returns the mapping for inspection.  The topology is copied.
+  const Mapping& load(const snn::Topology& topology);
+
+  /// True once a network is loaded.
+  bool loaded() const { return mapping_.has_value(); }
+
+  /// Mapping of the loaded network; throws if none is loaded.
+  const Mapping& mapping() const;
+
+  /// Replays one spike trace (must match the loaded topology).
+  RunReport execute(const snn::SpikeTrace& trace) const;
+
+  /// Replays a set of traces; energy/perf averaged per classification.
+  RunReport execute(std::span<const snn::SpikeTrace> traces) const;
+
+ private:
+  ResparcConfig config_;
+  std::optional<snn::Topology> topology_;
+  std::optional<Mapping> mapping_;
+  std::unique_ptr<Executor> executor_;
+};
+
+}  // namespace resparc::core

@@ -1,0 +1,27 @@
+#include "core/switch.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace resparc::core {
+
+bool ProgrammableSwitch::offer(const SpikePacket& packet) {
+  if (zero_check_ && packet.payload == 0) {
+    ++counters_.dropped_zero;
+    return false;
+  }
+  queue_.push_back(packet);
+  counters_.buffered_max = std::max(counters_.buffered_max, queue_.size());
+  return true;
+}
+
+SpikePacket ProgrammableSwitch::deliver() {
+  require(!queue_.empty(), "switch has no pending packet");
+  SpikePacket p = queue_.front();
+  queue_.pop_front();
+  ++counters_.forwarded;
+  return p;
+}
+
+}  // namespace resparc::core

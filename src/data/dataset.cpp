@@ -1,0 +1,27 @@
+#include "data/dataset.hpp"
+
+#include "common/error.hpp"
+
+namespace resparc::data {
+
+Dataset Dataset::take(std::size_t n) const {
+  require(n <= size(), "Dataset::take: not enough samples");
+  Dataset out;
+  out.shape = shape;
+  out.classes = classes;
+  out.images.assign(images.begin(), images.begin() + static_cast<std::ptrdiff_t>(n));
+  out.labels.assign(labels.begin(), labels.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+Dataset Dataset::drop(std::size_t n) const {
+  require(n <= size(), "Dataset::drop: not enough samples");
+  Dataset out;
+  out.shape = shape;
+  out.classes = classes;
+  out.images.assign(images.begin() + static_cast<std::ptrdiff_t>(n), images.end());
+  out.labels.assign(labels.begin() + static_cast<std::ptrdiff_t>(n), labels.end());
+  return out;
+}
+
+}  // namespace resparc::data

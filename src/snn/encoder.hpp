@@ -1,0 +1,42 @@
+// Input spike encoding (rate coding).
+//
+// SNNs require analog inputs to be presented as spike trains (paper
+// section 2.1).  Pixel intensity in [0,1] maps to a per-timestep firing
+// probability; two generators are provided:
+//   * Poisson  — independent Bernoulli per step (the common choice for
+//     converted networks; adds sampling noise),
+//   * uniform  — deterministic rate via phase accumulation (same mean rate,
+//     zero encoder noise; useful for reproducible unit tests).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "snn/trace.hpp"
+
+namespace resparc::snn {
+
+/// Encoder configuration.
+struct EncoderConfig {
+  double max_rate = 1.0;  ///< spikes/step for a full-intensity pixel, in (0,1]
+  bool poisson = true;    ///< Poisson (true) or deterministic-uniform (false)
+};
+
+/// Converts an intensity image into per-timestep spike vectors.
+class RateEncoder {
+ public:
+  explicit RateEncoder(EncoderConfig config);
+
+  const EncoderConfig& config() const { return config_; }
+
+  /// Encodes `image` (values clamped to [0,1]) into `timesteps` spike
+  /// vectors.  The deterministic mode ignores `rng`.
+  std::vector<SpikeVector> encode(std::span<const float> image,
+                                  std::size_t timesteps, Rng& rng) const;
+
+ private:
+  EncoderConfig config_;
+};
+
+}  // namespace resparc::snn

@@ -1,0 +1,52 @@
+#include "snn/network.hpp"
+
+#include <cmath>
+
+namespace resparc::snn {
+
+WeightShape weight_shape(const LayerInfo& li) {
+  switch (li.spec.kind) {
+    case LayerKind::kDense:
+      return {li.fan_in, li.spec.units};
+    case LayerKind::kConv:
+      return {li.in_shape.c * li.spec.kernel * li.spec.kernel,
+              li.spec.out_channels};
+    case LayerKind::kAvgPool:
+      return {0, 0};
+  }
+  return {0, 0};
+}
+
+Network::Network(Topology topology) : topology_(std::move(topology)) {
+  params_.reserve(topology_.layer_count());
+  for (const auto& li : topology_.layers()) {
+    LayerParams p;
+    const auto ws = weight_shape(li);
+    if (ws.rows > 0) p.weights = Matrix(ws.rows, ws.cols);
+    params_.push_back(std::move(p));
+  }
+}
+
+float Network::max_abs_weight() const {
+  float m = 0.0f;
+  for (const auto& p : params_)
+    for (float w : p.weights.flat()) m = std::max(m, std::abs(w));
+  return m;
+}
+
+void Network::init_random(Rng& rng, float scale) {
+  for (std::size_t l = 0; l < params_.size(); ++l) {
+    auto& p = params_[l];
+    if (p.weights.empty()) continue;
+    const double stddev =
+        scale / std::sqrt(static_cast<double>(p.weights.rows()));
+    for (float& w : p.weights.flat())
+      w = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void Network::set_uniform_threshold(double v_threshold) {
+  for (auto& p : params_) p.neuron.v_threshold = v_threshold;
+}
+
+}  // namespace resparc::snn

@@ -1,0 +1,66 @@
+// A concrete SNN: topology + trained weights + per-layer thresholds.
+//
+// Weight layouts are chosen to match how the crossbar mapper consumes them:
+//   * dense:  Matrix (fan_in x units), input-major — exactly the
+//     connectivity matrix of paper Fig. 2(b);
+//   * conv:   Matrix (inC*k*k x out_channels) — the im2col kernel matrix;
+//     the mapper unrolls it per output tile;
+//   * pool:   no stored weights (fixed 1/p^2 averaging).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "snn/neuron.hpp"
+#include "snn/topology.hpp"
+
+namespace resparc::snn {
+
+/// Weights and neuron parameters for one layer.
+struct LayerParams {
+  Matrix weights;     ///< layout per layer kind (see file comment); empty for pool
+  IfParams neuron{};  ///< IF parameters of the layer's population
+};
+
+/// A runnable spiking network.
+class Network {
+ public:
+  /// Builds a network with zero weights and unit thresholds.
+  explicit Network(Topology topology);
+
+  const Topology& topology() const { return topology_; }
+
+  /// Mutable access to one layer's parameters (trainer / quantizer use).
+  LayerParams& layer(std::size_t l) { return params_.at(l); }
+  const LayerParams& layer(std::size_t l) const { return params_.at(l); }
+  std::size_t layer_count() const { return params_.size(); }
+
+  /// Largest |weight| across all layers (0 for an all-zero net).
+  float max_abs_weight() const;
+
+  /// Initialises weights i.i.d. normal(0, scale/sqrt(fan_in)) — used by the
+  /// paper-scale energy benchmarks where trained weights are not needed,
+  /// and as the trainer's starting point.
+  void init_random(Rng& rng, float scale = 1.0f);
+
+  /// Sets every layer's threshold so that the mean per-step input current
+  /// under activity `input_activity` roughly balances: a crude analytic
+  /// default; `calibrate_thresholds` in simulator.hpp does it empirically.
+  void set_uniform_threshold(double v_threshold);
+
+ private:
+  Topology topology_;
+  std::vector<LayerParams> params_;
+};
+
+/// Expected weight-matrix dimensions for a layer (rows = crossbar rows).
+struct WeightShape {
+  std::size_t rows;
+  std::size_t cols;
+};
+
+/// Returns the stored-weight shape for the given layer info.
+WeightShape weight_shape(const LayerInfo& li);
+
+}  // namespace resparc::snn

@@ -1,0 +1,39 @@
+#include "snn/neuron.hpp"
+
+#include "common/error.hpp"
+
+namespace resparc::snn {
+
+std::size_t IfPopulation::step(std::span<const float> current,
+                               std::span<std::uint8_t> spikes_out) {
+  if (current.size() != membrane_.size() || spikes_out.size() != membrane_.size())
+    throw ShapeError("IfPopulation::step: span size mismatch");
+  const float vth = static_cast<float>(params_.v_threshold);
+  const float vreset = static_cast<float>(params_.v_reset);
+  const float leak = static_cast<float>(params_.leak_per_step);
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < membrane_.size(); ++i) {
+    float v = membrane_[i] + current[i];
+    if (leak > 0.0f) v = v > leak ? v - leak : 0.0f;
+    if (v >= vth) {
+      spikes_out[i] = 1;
+      ++fired;
+      if (params_.subtractive_reset) {
+        v -= vth;
+        if (v < vreset) v = vreset;
+      } else {
+        v = vreset;
+      }
+    } else {
+      spikes_out[i] = 0;
+    }
+    membrane_[i] = v;
+  }
+  return fired;
+}
+
+void IfPopulation::reset() {
+  membrane_.assign(membrane_.size(), static_cast<float>(params_.v_reset));
+}
+
+}  // namespace resparc::snn

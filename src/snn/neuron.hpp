@@ -1,0 +1,49 @@
+// Integrate-and-Fire neuron model (paper section 2.1, Fig. 1(c)).
+//
+// The neuron accumulates weighted input current onto its membrane potential
+// and emits a spike when the potential crosses the threshold.  Reset is by
+// threshold subtraction ("soft reset"), the variant the Diehl et al.
+// conversion algorithm assumes, because it preserves rate proportionality
+// across layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace resparc::snn {
+
+/// Parameters of one layer's IF population.
+struct IfParams {
+  double v_threshold = 1.0;  ///< firing threshold
+  double v_reset = 0.0;      ///< floor used when subtractive reset undershoots
+  bool subtractive_reset = true;  ///< subtract vth on fire (vs reset to v_reset)
+  double leak_per_step = 0.0;     ///< optional leak subtracted every step (>= 0)
+};
+
+/// State and update rule of a population of IF neurons.
+class IfPopulation {
+ public:
+  IfPopulation(std::size_t size, IfParams params)
+      : params_(params), membrane_(size, 0.0f) {}
+
+  std::size_t size() const { return membrane_.size(); }
+  const IfParams& params() const { return params_; }
+
+  /// Integrates `current` (one value per neuron) and writes 0/1 spikes.
+  /// Returns the number of neurons that fired.
+  std::size_t step(std::span<const float> current,
+                   std::span<std::uint8_t> spikes_out);
+
+  /// Resets all membranes to v_reset (between input presentations).
+  void reset();
+
+  /// Membrane potential of neuron `i` (for tests and the examples).
+  float membrane(std::size_t i) const { return membrane_[i]; }
+
+ private:
+  IfParams params_;
+  std::vector<float> membrane_;
+};
+
+}  // namespace resparc::snn

@@ -1,0 +1,27 @@
+// Weight discretisation (paper section 5.4, Fig. 14).
+//
+// Memristive devices store a finite number of conductance levels; section
+// 4.2 uses 16 levels (4 bits).  Quantisation here mirrors the device
+// mapping in tech::Memristor: each layer's weights are scaled by the
+// layer's max |w| and the normalised magnitude is rounded to one of
+// 2^bits - 1 uniform steps per polarity (level 0 = zero weight).
+#pragma once
+
+#include "common/matrix.hpp"
+#include "snn/network.hpp"
+
+namespace resparc::snn {
+
+/// Quantises one weight matrix in place to `bits` of magnitude resolution,
+/// using `scale` as the full-range magnitude (weights are clamped to it).
+void quantize_matrix(Matrix& weights, int bits, float scale);
+
+/// Quantises every layer of the network in place, each with its own
+/// max-|w| scale.  Pool layers (no stored weights) are untouched.
+void quantize_network(Network& net, int bits);
+
+/// Mean absolute quantisation error a matrix would suffer at `bits`
+/// (without modifying it) — used by tests to check monotone improvement.
+double quantization_mae(const Matrix& weights, int bits, float scale);
+
+}  // namespace resparc::snn

@@ -1,0 +1,236 @@
+#include "snn/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace resparc::snn {
+
+Simulator::Simulator(const Network& net, SimConfig config)
+    : net_(net), config_(config), encoder_(config.encoder) {
+  require(config_.timesteps > 0, "simulator needs timesteps > 0");
+}
+
+void Simulator::accumulate_current(std::size_t l, const SpikeVector& prev,
+                                   std::span<float> current) const {
+  const LayerInfo& li = net_.topology().layers()[l];
+  const LayerParams& lp = net_.layer(l);
+  std::fill(current.begin(), current.end(), 0.0f);
+
+  switch (li.spec.kind) {
+    case LayerKind::kDense: {
+      const Matrix& w = lp.weights;
+      for (std::size_t r = 0; r < prev.size(); ++r) {
+        if (!prev.get(r)) continue;
+        const auto row = w.row(r);
+        for (std::size_t c = 0; c < row.size(); ++c) current[c] += row[c];
+      }
+      break;
+    }
+    case LayerKind::kConv: {
+      const Matrix& w = lp.weights;  // (inC*k*k) x outC
+      const Shape3 in = li.in_shape;
+      const Shape3 out = li.out_shape;
+      const std::size_t k = li.spec.kernel;
+      const std::size_t pad = li.spec.same_padding ? k / 2 : 0;
+      for (std::size_t idx = 0; idx < prev.size(); ++idx) {
+        if (!prev.get(idx)) continue;
+        const std::size_t c = idx / (in.h * in.w);
+        const std::size_t rem = idx % (in.h * in.w);
+        const std::size_t y = rem / in.w;
+        const std::size_t x = rem % in.w;
+        // Input (c,y,x) feeds output (oc, y-ky+pad, x-kx+pad) with kernel
+        // weight K[oc][c][ky][kx] (the scatter form of the convolution).
+        for (std::size_t ky = 0; ky < k; ++ky) {
+          const std::ptrdiff_t oy =
+              static_cast<std::ptrdiff_t>(y + pad) - static_cast<std::ptrdiff_t>(ky);
+          if (oy < 0 || oy >= static_cast<std::ptrdiff_t>(out.h)) continue;
+          for (std::size_t kx = 0; kx < k; ++kx) {
+            const std::ptrdiff_t ox =
+                static_cast<std::ptrdiff_t>(x + pad) - static_cast<std::ptrdiff_t>(kx);
+            if (ox < 0 || ox >= static_cast<std::ptrdiff_t>(out.w)) continue;
+            const std::size_t wrow = (c * k + ky) * k + kx;
+            const auto kernels = w.row(wrow);  // one weight per out channel
+            const std::size_t base =
+                static_cast<std::size_t>(oy) * out.w + static_cast<std::size_t>(ox);
+            for (std::size_t oc = 0; oc < out.c; ++oc)
+              current[oc * out.h * out.w + base] += kernels[oc];
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kAvgPool: {
+      const Shape3 in = li.in_shape;
+      const Shape3 out = li.out_shape;
+      const std::size_t p = li.spec.pool;
+      const float share = 1.0f / static_cast<float>(p * p);
+      for (std::size_t idx = 0; idx < prev.size(); ++idx) {
+        if (!prev.get(idx)) continue;
+        const std::size_t c = idx / (in.h * in.w);
+        const std::size_t rem = idx % (in.h * in.w);
+        const std::size_t y = rem / in.w;
+        const std::size_t x = rem % in.w;
+        current[(c * out.h + y / p) * out.w + x / p] += share;
+      }
+      break;
+    }
+  }
+}
+
+SimResult Simulator::run(std::span<const float> image, Rng& rng) {
+  const Topology& topo = net_.topology();
+  require(image.size() == topo.input_shape().size(),
+          "simulator: image size does not match topology input");
+
+  // Per-layer populations and scratch buffers live for one presentation.
+  std::vector<IfPopulation> pops;
+  std::vector<std::vector<float>> currents;
+  std::vector<std::vector<std::uint8_t>> spike_bytes;
+  pops.reserve(topo.layer_count());
+  for (std::size_t l = 0; l < topo.layer_count(); ++l) {
+    const std::size_t n = topo.layers()[l].neurons;
+    pops.emplace_back(n, net_.layer(l).neuron);
+    currents.emplace_back(n, 0.0f);
+    spike_bytes.emplace_back(n, std::uint8_t{0});
+  }
+
+  SimResult result;
+  result.output_spike_counts.assign(topo.output_count(), 0);
+  const std::size_t T = config_.timesteps;
+  if (config_.record_trace) {
+    result.trace.layers.resize(topo.layer_count() + 1);
+    for (auto& lt : result.trace.layers) lt.reserve(T);
+  }
+
+  const auto input_spikes = encoder_.encode(image, T, rng);
+
+  std::vector<SpikeVector> prev_holder;  // current spikes per layer, this step
+  prev_holder.resize(topo.layer_count());
+
+  for (std::size_t t = 0; t < T; ++t) {
+    const SpikeVector* prev = &input_spikes[t];
+    result.total_spikes += prev->count();
+    if (config_.record_trace) result.trace.layers[0].push_back(*prev);
+
+    for (std::size_t l = 0; l < topo.layer_count(); ++l) {
+      accumulate_current(l, *prev, currents[l]);
+      pops[l].step(currents[l], spike_bytes[l]);
+      prev_holder[l] = SpikeVector::from_bytes(spike_bytes[l]);
+      prev = &prev_holder[l];
+      result.total_spikes += prev->count();
+      if (config_.record_trace) result.trace.layers[l + 1].push_back(*prev);
+    }
+
+    const SpikeVector& out = prev_holder.back();
+    for (std::size_t i = 0; i < out.size(); ++i)
+      if (out.get(i)) ++result.output_spike_counts[i];
+  }
+
+  result.predicted_class = static_cast<std::size_t>(std::distance(
+      result.output_spike_counts.begin(),
+      std::max_element(result.output_spike_counts.begin(),
+                       result.output_spike_counts.end())));
+  return result;
+}
+
+void Simulator::observe_currents(std::span<const float> image, Rng& rng,
+                                 std::size_t layer,
+                                 std::vector<float>& samples_out) {
+  const Topology& topo = net_.topology();
+  require(layer < topo.layer_count(), "observe_currents: layer out of range");
+
+  std::vector<IfPopulation> pops;
+  std::vector<std::vector<float>> currents;
+  std::vector<std::vector<std::uint8_t>> spike_bytes;
+  for (std::size_t l = 0; l <= layer; ++l) {
+    const std::size_t n = topo.layers()[l].neurons;
+    pops.emplace_back(n, net_.layer(l).neuron);
+    currents.emplace_back(n, 0.0f);
+    spike_bytes.emplace_back(n, std::uint8_t{0});
+  }
+
+  const auto input_spikes = encoder_.encode(image, config_.timesteps, rng);
+  std::vector<SpikeVector> prev_holder(layer + 1);
+
+  for (std::size_t t = 0; t < config_.timesteps; ++t) {
+    const SpikeVector* prev = &input_spikes[t];
+    for (std::size_t l = 0; l <= layer; ++l) {
+      accumulate_current(l, *prev, currents[l]);
+      if (l == layer) {
+        samples_out.insert(samples_out.end(), currents[l].begin(),
+                           currents[l].end());
+        break;
+      }
+      pops[l].step(currents[l], spike_bytes[l]);
+      prev_holder[l] = SpikeVector::from_bytes(spike_bytes[l]);
+      prev = &prev_holder[l];
+    }
+  }
+}
+
+std::vector<double> calibrate_thresholds(
+    Network& net, std::span<const std::vector<float>> images,
+    const SimConfig& config, Rng& rng, double target_activity) {
+  require(target_activity > 0.0 && target_activity < 1.0,
+          "target activity must be in (0,1)");
+  require(!images.empty(), "calibration needs at least one image");
+
+  std::vector<double> chosen;
+  const std::size_t layer_count = net.topology().layer_count();
+  for (std::size_t l = 0; l < layer_count; ++l) {
+    // Pool layers keep their fixed semantics: fire when at least half the
+    // window was active.  Their threshold is not calibrated.
+    if (net.topology().layers()[l].spec.kind == LayerKind::kAvgPool) {
+      net.layer(l).neuron.v_threshold = 0.5;
+      chosen.push_back(0.5);
+      continue;
+    }
+    std::vector<float> samples;
+    Simulator sim(net, config);
+    for (const auto& img : images) sim.observe_currents(img, rng, l, samples);
+
+    // Keep strictly positive currents; a layer that never receives positive
+    // drive keeps threshold 1 (it will stay silent, which is honest).
+    std::vector<float> pos;
+    pos.reserve(samples.size());
+    for (float s : samples)
+      if (s > 0.0f) pos.push_back(s);
+    double vth = 1.0;
+    if (!pos.empty()) {
+      // The threshold acts on *accumulated* membrane, so a neuron whose mean
+      // positive per-step current is c fires roughly every vth/c steps.
+      // Setting vth to the (1-a) quantile of per-step currents yields a
+      // per-step fire probability of ~a for the upper tail of neurons.
+      const double q = 1.0 - target_activity;
+      const std::size_t idx = std::min(
+          pos.size() - 1, static_cast<std::size_t>(q * static_cast<double>(pos.size())));
+      std::nth_element(pos.begin(), pos.begin() + static_cast<std::ptrdiff_t>(idx),
+                       pos.end());
+      vth = std::max(1e-6, static_cast<double>(pos[idx]));
+    }
+    net.layer(l).neuron.v_threshold = vth;
+    chosen.push_back(vth);
+  }
+  return chosen;
+}
+
+double evaluate_accuracy(const Network& net, const SimConfig& config,
+                         std::span<const std::vector<float>> images,
+                         std::span<const int> labels, Rng& rng) {
+  require(images.size() == labels.size(),
+          "evaluate_accuracy: images/labels size mismatch");
+  require(!images.empty(), "evaluate_accuracy: empty set");
+  SimConfig cfg = config;
+  cfg.record_trace = false;
+  Simulator sim(net, cfg);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const SimResult r = sim.run(images[i], rng);
+    if (static_cast<int>(r.predicted_class) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(images.size());
+}
+
+}  // namespace resparc::snn

@@ -1,0 +1,81 @@
+// Event-driven functional SNN simulator.
+//
+// Executes a Network for T timesteps on one encoded input and records the
+// full spike trace.  Propagation is input-driven ("event-driven"): only
+// spiking neurons scatter their fan-out, mirroring both the biological
+// motivation and the architecture's zero-skipping (section 3.2) — and
+// making paper-scale networks simulable on a laptop.
+//
+// The simulator is the single source of spike traces for BOTH architecture
+// models (RESPARC and the CMOS baseline), which guarantees the two sides of
+// every comparison saw identical workloads.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "snn/encoder.hpp"
+#include "snn/network.hpp"
+#include "snn/trace.hpp"
+
+namespace resparc::snn {
+
+/// Simulation configuration.
+struct SimConfig {
+  std::size_t timesteps = 32;  ///< presentation length per classification
+  EncoderConfig encoder{};     ///< input spike encoding
+  bool record_trace = true;    ///< keep the packed trace (off for accuracy-only runs)
+};
+
+/// Result of one presentation.
+struct SimResult {
+  SpikeTrace trace;  ///< empty when record_trace is false
+  std::vector<std::size_t> output_spike_counts;  ///< per output neuron
+  std::size_t predicted_class = 0;  ///< argmax of output spike counts
+  std::size_t total_spikes = 0;     ///< all layers, whole presentation
+};
+
+/// Runs a Network presentation-by-presentation.
+class Simulator {
+ public:
+  /// The network must outlive the simulator.
+  Simulator(const Network& net, SimConfig config);
+
+  const SimConfig& config() const { return config_; }
+
+  /// Presents one image (flat CHW intensities in [0,1]) and returns spikes.
+  SimResult run(std::span<const float> image, Rng& rng);
+
+  /// Collects per-neuron per-step input currents arriving at `layer` over
+  /// one presentation (used by threshold calibration).  Layers after
+  /// `layer` are not executed.
+  void observe_currents(std::span<const float> image, Rng& rng,
+                        std::size_t layer, std::vector<float>& samples_out);
+
+ private:
+  /// Computes input current into layer l from the previous layer's spikes.
+  void accumulate_current(std::size_t l, const SpikeVector& prev_spikes,
+                          std::span<float> current_out) const;
+
+  const Network& net_;
+  SimConfig config_;
+  RateEncoder encoder_;
+};
+
+/// Sets each layer's threshold to the (1 - target_activity) quantile of its
+/// observed positive input currents, front to back, so every layer fires at
+/// roughly `target_activity` — the regime the paper's energy numbers assume.
+/// `images` are flat intensity vectors.  Returns the chosen thresholds.
+std::vector<double> calibrate_thresholds(Network& net,
+                                         std::span<const std::vector<float>> images,
+                                         const SimConfig& config, Rng& rng,
+                                         double target_activity);
+
+/// Fraction of correct argmax classifications over the given image/label set.
+double evaluate_accuracy(const Network& net, const SimConfig& config,
+                         std::span<const std::vector<float>> images,
+                         std::span<const int> labels, Rng& rng);
+
+}  // namespace resparc::snn

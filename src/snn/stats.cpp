@@ -1,0 +1,53 @@
+#include "snn/stats.hpp"
+
+#include "common/error.hpp"
+
+namespace resparc::snn {
+
+PacketStats layer_packet_stats(const SpikeTrace& trace, std::size_t layer,
+                               std::size_t packet_bits) {
+  require(packet_bits > 0, "packet size must be positive");
+  require(layer < trace.layer_count(), "layer out of range");
+  PacketStats stats;
+  stats.packet_bits = packet_bits;
+  for (const auto& vec : trace.layers[layer]) {
+    for (std::size_t begin = 0; begin < vec.size(); begin += packet_bits) {
+      ++stats.packets;
+      if (vec.none_in_range(begin, begin + packet_bits)) ++stats.zero_packets;
+    }
+  }
+  return stats;
+}
+
+PacketStats trace_packet_stats(const SpikeTrace& trace, std::size_t packet_bits) {
+  PacketStats stats;
+  stats.packet_bits = packet_bits;
+  for (std::size_t l = 0; l < trace.layer_count(); ++l) {
+    const PacketStats s = layer_packet_stats(trace, l, packet_bits);
+    stats.packets += s.packets;
+    stats.zero_packets += s.zero_packets;
+  }
+  return stats;
+}
+
+double mean_activity(const SpikeTrace& trace) {
+  std::size_t spikes = 0;
+  std::size_t slots = 0;
+  for (std::size_t l = 0; l < trace.layer_count(); ++l) {
+    for (const auto& vec : trace.layers[l]) {
+      spikes += vec.count();
+      slots += vec.size();
+    }
+  }
+  return slots ? static_cast<double>(spikes) / static_cast<double>(slots) : 0.0;
+}
+
+std::vector<double> layer_activities(const SpikeTrace& trace) {
+  std::vector<double> acts;
+  acts.reserve(trace.layer_count());
+  for (std::size_t l = 0; l < trace.layer_count(); ++l)
+    acts.push_back(trace.layer_activity(l));
+  return acts;
+}
+
+}  // namespace resparc::snn

@@ -1,0 +1,44 @@
+// Spike-trace statistics.
+//
+// The event-driven energy levers of section 3.2 act on *packets*: a spike
+// packet whose bits are all zero is never transferred (switch zero-check)
+// or never broadcast (SRAM zero-check).  Section 5.3 observes that the
+// probability of an all-zero packet falls as the packet (run) length grows
+// — these functions measure exactly that from recorded traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "snn/trace.hpp"
+
+namespace resparc::snn {
+
+/// Zero-packet statistics for one packet size.
+struct PacketStats {
+  std::size_t packet_bits = 0;   ///< packet (run) length in bits
+  std::size_t packets = 0;       ///< packets examined
+  std::size_t zero_packets = 0;  ///< packets with every bit zero
+
+  /// Fraction of packets that the zero-check logic would suppress.
+  double zero_fraction() const {
+    return packets ? static_cast<double>(zero_packets) / static_cast<double>(packets)
+                   : 0.0;
+  }
+};
+
+/// Scans one layer of a trace with packets of `packet_bits` consecutive
+/// neurons (the hardware's packing order) and counts all-zero packets.
+PacketStats layer_packet_stats(const SpikeTrace& trace, std::size_t layer,
+                               std::size_t packet_bits);
+
+/// Same scan across every layer of the trace.
+PacketStats trace_packet_stats(const SpikeTrace& trace, std::size_t packet_bits);
+
+/// Mean spiking activity (spikes per neuron per timestep) across all layers.
+double mean_activity(const SpikeTrace& trace);
+
+/// Per-layer activity vector (index 0 = input layer).
+std::vector<double> layer_activities(const SpikeTrace& trace);
+
+}  // namespace resparc::snn

@@ -1,0 +1,154 @@
+#include "snn/topology.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace resparc::snn {
+
+std::string to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kDense: return "dense";
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kAvgPool: return "avgpool";
+  }
+  return "unknown";
+}
+
+LayerSpec LayerSpec::dense(std::size_t units) {
+  LayerSpec s;
+  s.kind = LayerKind::kDense;
+  s.units = units;
+  return s;
+}
+
+LayerSpec LayerSpec::conv(std::size_t out_channels, std::size_t kernel,
+                          bool same_padding) {
+  LayerSpec s;
+  s.kind = LayerKind::kConv;
+  s.out_channels = out_channels;
+  s.kernel = kernel;
+  s.same_padding = same_padding;
+  return s;
+}
+
+LayerSpec LayerSpec::avg_pool(std::size_t pool) {
+  LayerSpec s;
+  s.kind = LayerKind::kAvgPool;
+  s.pool = pool;
+  return s;
+}
+
+namespace {
+
+LayerInfo derive(const LayerSpec& spec, const Shape3& in) {
+  LayerInfo li;
+  li.spec = spec;
+  li.in_shape = in;
+  switch (spec.kind) {
+    case LayerKind::kDense: {
+      require(spec.units > 0, "dense layer needs units > 0");
+      li.out_shape = Shape3{spec.units, 1, 1};
+      li.fan_in = in.size();
+      li.neurons = spec.units;
+      li.synapses = li.neurons * li.fan_in;
+      li.unique_weights = li.synapses;
+      break;
+    }
+    case LayerKind::kConv: {
+      require(spec.out_channels > 0, "conv layer needs out_channels > 0");
+      require(spec.kernel > 0 && spec.kernel % 2 == 1,
+              "conv kernel must be odd and positive");
+      std::size_t oh, ow;
+      if (spec.same_padding) {
+        oh = in.h;
+        ow = in.w;
+      } else {
+        require(in.h >= spec.kernel && in.w >= spec.kernel,
+                "conv 'valid' kernel larger than input");
+        oh = in.h - spec.kernel + 1;
+        ow = in.w - spec.kernel + 1;
+      }
+      li.out_shape = Shape3{spec.out_channels, oh, ow};
+      li.fan_in = in.c * spec.kernel * spec.kernel;
+      li.neurons = li.out_shape.size();
+      li.synapses = li.neurons * li.fan_in;
+      li.unique_weights = spec.out_channels * li.fan_in;
+      break;
+    }
+    case LayerKind::kAvgPool: {
+      require(spec.pool > 1, "pool window must be > 1");
+      require(in.h % spec.pool == 0 && in.w % spec.pool == 0,
+              "pool window must divide the input size");
+      li.out_shape = Shape3{in.c, in.h / spec.pool, in.w / spec.pool};
+      li.fan_in = spec.pool * spec.pool;
+      li.neurons = li.out_shape.size();
+      li.synapses = li.neurons * li.fan_in;
+      li.unique_weights = 0;  // fixed averaging weights, not trainable
+      break;
+    }
+  }
+  return li;
+}
+
+}  // namespace
+
+Topology::Topology(std::string name, Shape3 input, std::vector<LayerSpec> layers)
+    : name_(std::move(name)), input_(input) {
+  require(input_.size() > 0, "topology input shape must be non-empty");
+  require(!layers.empty(), "topology needs at least one layer");
+  Shape3 current = input_;
+  info_.reserve(layers.size());
+  for (const auto& spec : layers) {
+    info_.push_back(derive(spec, current));
+    current = info_.back().out_shape;
+  }
+}
+
+std::size_t Topology::neuron_count(bool include_input) const {
+  std::size_t n = include_input ? input_.size() : 0;
+  for (const auto& li : info_) n += li.neurons;
+  return n;
+}
+
+std::size_t Topology::synapse_count() const {
+  std::size_t n = 0;
+  for (const auto& li : info_) n += li.synapses;
+  return n;
+}
+
+std::size_t Topology::unique_weight_count() const {
+  std::size_t n = 0;
+  for (const auto& li : info_) n += li.unique_weights;
+  return n;
+}
+
+bool Topology::is_convolutional() const {
+  for (const auto& li : info_)
+    if (li.spec.kind == LayerKind::kConv) return true;
+  return false;
+}
+
+std::size_t Topology::output_count() const { return info_.back().neurons; }
+
+std::string Topology::summary() const {
+  std::ostringstream os;
+  if (input_.c == 1 && input_.h == 1) {
+    os << input_.w;
+  } else if (input_.c == 1) {
+    os << input_.h << "x" << input_.w;
+  } else {
+    os << input_.h << "x" << input_.w << "x" << input_.c;
+  }
+  for (const auto& li : info_) {
+    os << "-";
+    switch (li.spec.kind) {
+      case LayerKind::kDense: os << li.spec.units; break;
+      case LayerKind::kConv: os << li.spec.out_channels << "c" << li.spec.kernel; break;
+      case LayerKind::kAvgPool: os << "p" << li.spec.pool; break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace resparc::snn

@@ -1,0 +1,109 @@
+// Network topology intermediate representation.
+//
+// A topology is the *shape* of an SNN: an input shape plus an ordered list
+// of layers (dense / convolution / average-pool).  It is consumed by three
+// clients with one shared vocabulary:
+//   * the functional simulator (src/snn/simulator) executes it,
+//   * the trainer (src/train) trains an ANN of the same shape,
+//   * the crossbar mapper (src/core/mapper) lowers each layer's
+//     connectivity matrix onto MCAs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/tensor.hpp"
+
+namespace resparc::snn {
+
+/// Kind of a layer.
+enum class LayerKind {
+  kDense,    ///< fully connected: every output sees every input
+  kConv,     ///< 2-D convolution, stride 1, 'same' or 'valid' padding
+  kAvgPool,  ///< non-overlapping average pooling (window = stride)
+};
+
+/// Human-readable name of a layer kind ("dense"/"conv"/"avgpool").
+std::string to_string(LayerKind kind);
+
+/// Declarative description of one layer.  Only the fields relevant to
+/// `kind` are meaningful; `validate()` checks consistency against the
+/// incoming shape.
+struct LayerSpec {
+  LayerKind kind = LayerKind::kDense;
+
+  // kDense
+  std::size_t units = 0;     ///< number of output neurons
+
+  // kConv
+  std::size_t out_channels = 0;  ///< number of filters
+  std::size_t kernel = 0;        ///< square kernel side k
+  bool same_padding = true;      ///< 'same' (zero-pad) vs 'valid'
+
+  // kAvgPool
+  std::size_t pool = 0;          ///< window side (= stride)
+
+  /// Convenience factories.
+  static LayerSpec dense(std::size_t units);
+  static LayerSpec conv(std::size_t out_channels, std::size_t kernel,
+                        bool same_padding = true);
+  static LayerSpec avg_pool(std::size_t pool);
+};
+
+/// Static facts about one layer once placed after a concrete input shape.
+struct LayerInfo {
+  LayerSpec spec;
+  Shape3 in_shape;
+  Shape3 out_shape;
+  std::size_t fan_in = 0;    ///< inputs per output neuron (k*k*C for conv)
+  std::size_t neurons = 0;   ///< output neurons
+  std::size_t synapses = 0;  ///< unrolled connections = neurons * fan_in
+  std::size_t unique_weights = 0;  ///< trainable parameters (shared for conv)
+};
+
+/// An input shape plus an ordered list of layers, with derived per-layer
+/// shapes and connection counts.
+class Topology {
+ public:
+  /// Builds and validates the topology; throws ConfigError/ShapeError when
+  /// a layer cannot follow the previous one.
+  Topology(std::string name, Shape3 input, std::vector<LayerSpec> layers);
+
+  const std::string& name() const { return name_; }
+  Shape3 input_shape() const { return input_; }
+
+  /// Per-layer derived information, in network order.
+  const std::vector<LayerInfo>& layers() const { return info_; }
+  std::size_t layer_count() const { return info_.size(); }
+
+  /// Number of input "neurons" (pixels); the paper's MLP rows count these.
+  std::size_t input_neurons() const { return input_.size(); }
+
+  /// Total neurons; `include_input` selects the counting convention
+  /// (the paper includes the input layer for MLPs but not for CNNs).
+  std::size_t neuron_count(bool include_input) const;
+
+  /// Total unrolled synaptic connections (what hardware must map).
+  std::size_t synapse_count() const;
+
+  /// Total trainable parameters (conv kernels counted once).
+  std::size_t unique_weight_count() const;
+
+  /// True when any layer is a convolution (selects the paper's "CNN" rules
+  /// for utilisation analysis).
+  bool is_convolutional() const;
+
+  /// Output class count (size of the last layer).
+  std::size_t output_count() const;
+
+  /// Compact description, e.g. "784-800-784-10" or "28x28-52c3-p2-...".
+  std::string summary() const;
+
+ private:
+  std::string name_;
+  Shape3 input_{};
+  std::vector<LayerInfo> info_;
+};
+
+}  // namespace resparc::snn

@@ -1,0 +1,75 @@
+// Spike traces: the packed record of which neuron spiked when.
+//
+// A SpikeTrace is the contract between the functional simulator and the two
+// architecture executors (RESPARC and the CMOS baseline): the executors
+// replay the trace to count hardware events.  Spikes are bit-packed into
+// 64-bit words — deliberately the same width as the architecture's flit —
+// so zero-packet statistics (the event-driven lever of section 3.2) fall
+// out of the representation for free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace resparc::snn {
+
+/// One layer's spikes for one timestep, bit-packed little-endian
+/// (bit i of word w = neuron w*64+i).
+class SpikeVector {
+ public:
+  SpikeVector() = default;
+  explicit SpikeVector(std::size_t neurons)
+      : neurons_(neurons), words_((neurons + 63) / 64, 0) {}
+
+  /// Builds from a 0/1 byte vector.
+  static SpikeVector from_bytes(std::span<const std::uint8_t> bytes);
+
+  std::size_t size() const { return neurons_; }
+  std::size_t word_count() const { return words_.size(); }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+
+  /// Raw packed words (the trailing word's unused bits are zero).
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  /// Number of set bits.
+  std::size_t count() const;
+
+  /// True when no neuron spiked.
+  bool none() const;
+
+  /// Number of set bits within [begin, end) — the "active rows" of an MCA
+  /// slice.  end is clamped to size().
+  std::size_t count_range(std::size_t begin, std::size_t end) const;
+
+  /// True when no bit is set within [begin, end).
+  bool none_in_range(std::size_t begin, std::size_t end) const;
+
+ private:
+  std::size_t neurons_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Spikes of every layer (index 0 = input layer) over all timesteps of one
+/// input presentation: trace[layer][t].
+struct SpikeTrace {
+  /// layers[l][t]: spikes of layer l (l = 0 is the encoded input) at step t.
+  std::vector<std::vector<SpikeVector>> layers;
+
+  std::size_t timesteps() const {
+    return layers.empty() ? 0 : layers.front().size();
+  }
+  std::size_t layer_count() const { return layers.size(); }
+
+  /// Total spikes emitted by layer `l` over the presentation.
+  std::size_t layer_spike_count(std::size_t l) const;
+
+  /// Mean fraction of neurons of layer `l` spiking per timestep.
+  double layer_activity(std::size_t l) const;
+};
+
+}  // namespace resparc::snn

@@ -1,0 +1,80 @@
+// Memristive synapse device model.
+//
+// Models the programmable two-terminal resistive device at each crossbar
+// cross-point.  The paper (section 4.2) uses a resistance range of
+// 20 kOhm - 200 kOhm with 16 levels (4 bits), representative of PCM and
+// Ag-Si technologies; both presets are provided.
+//
+// Weight encoding: a signed synaptic weight w in [-w_max, +w_max] is stored
+// differentially on a (G+, G-) device pair, the standard scheme for signed
+// weights on crossbars.  Each device is programmed to one of `levels()`
+// evenly spaced conductances in [G_min, G_max]; quantisation of w therefore
+// has 2^bits levels per polarity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace resparc::tech {
+
+/// Static parameters of a memristive device technology.
+struct MemristorParams {
+  std::string name = "generic";  ///< technology label (reports only)
+  double r_on_ohm = 20e3;        ///< lowest programmable resistance (R_on)
+  double r_off_ohm = 200e3;      ///< highest programmable resistance (R_off)
+  int bits = 4;                  ///< weight discretisation (levels = 2^bits)
+  double read_voltage_v = 0.5;   ///< read voltage = Vdd/2 (CMOS neuron interface)
+  double read_pulse_ns = 1.0;    ///< duration of one read (spike) pulse
+  /// Fraction of G_max leaked by each *unselected* cell during a read due to
+  /// sneak paths; 0 disables the non-ideality (used by the reliability study).
+  double sneak_leak_fraction = 0.0;
+
+  /// Validates the physical constraints; throws ConfigError on violation.
+  void validate() const;
+};
+
+/// A memristive device technology: conductance mapping and per-read energy.
+class Memristor {
+ public:
+  /// Constructs from validated parameters.
+  explicit Memristor(MemristorParams params);
+
+  const MemristorParams& params() const { return params_; }
+
+  /// Maximum conductance G_on = 1/R_on (siemens).
+  double g_max() const { return 1.0 / params_.r_on_ohm; }
+
+  /// Minimum conductance G_off = 1/R_off (siemens).
+  double g_min() const { return 1.0 / params_.r_off_ohm; }
+
+  /// Number of programmable levels per device (= 2^bits).
+  int levels() const { return 1 << params_.bits; }
+
+  /// Quantises a normalised magnitude m in [0,1] to the nearest device level
+  /// and returns the re-normalised magnitude in [0,1].  Values outside [0,1]
+  /// are clamped first (the trainer normalises weights before programming).
+  double quantize_magnitude(double m) const;
+
+  /// Conductance programmed for normalised magnitude m in [0,1]:
+  /// G = G_off + m_q * (G_on - G_off), with m_q the quantised magnitude.
+  double conductance(double m) const;
+
+  /// Energy in picojoules dissipated by ONE cell during one read pulse when
+  /// its row is driven: E = V^2 * G * t_read.
+  double cell_read_energy_pj(double conductance_s) const;
+
+  /// Energy of a read on a cell at the mean conductance; used by analytic
+  /// cost models that do not track individual cell states.
+  double mean_cell_read_energy_pj() const;
+
+ private:
+  MemristorParams params_;
+};
+
+/// Phase-change-memory preset (Jackson et al., JETC'13 ballpark).
+MemristorParams pcm_params();
+
+/// Ag-Si memristor preset (Jo et al., Nano Letters 2010 ballpark).
+MemristorParams agsi_params();
+
+}  // namespace resparc::tech

@@ -1,0 +1,53 @@
+#include "tech/sram.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace resparc::tech {
+namespace {
+
+// Anchor points distilled from published CACTI 6.0 runs at 45 nm
+// (cf. Muralimanohar et al., MICRO'07, and the ISAAC/PRIME design studies
+// that tabulate 45/32 nm SRAM costs):
+//   32 KB, 64-bit port  : ~10 pJ/read, ~5-15 mW/MB leakage (cell flavour), ~0.25 mm^2/MB
+//   1 MB,  64-bit port  : ~55 pJ/read
+// Fitting E = kE * sqrt(capacity_KB) through those points gives
+// kE ~ 1.75 pJ/sqrt(KB) at 64-bit width.
+constexpr double kReadEnergyCoeff_pj_per_sqrtKB = 1.75;
+constexpr double kWritePenalty = 1.2;        // writes drive full bitline swing
+constexpr double kLeakage_w_per_MB = 0.003;  // 3 mW per MB (high-Vt 6T, 45 nm)
+constexpr double kArea_mm2_per_MB = 0.25;    // dense 6T array + periphery
+constexpr double kAreaPeriphery_mm2 = 0.005; // fixed decoder/IO overhead
+
+}  // namespace
+
+SramModel::SramModel(SramConfig config) : config_(config) {
+  require(config_.capacity_bytes >= 64, "SRAM capacity must be >= 64 B");
+  require(config_.word_bits >= 8 && config_.word_bits <= 1024,
+          "SRAM word width must be in [8,1024] bits");
+  require(config_.leakage_derate > 0.0 && config_.leakage_derate <= 1.0,
+          "SRAM leakage derate must be in (0,1]");
+}
+
+double SramModel::read_energy_pj() const {
+  const double capacity_kb = static_cast<double>(config_.capacity_bytes) / 1024.0;
+  const double width_scale = static_cast<double>(config_.word_bits) / 64.0;
+  return kReadEnergyCoeff_pj_per_sqrtKB * std::sqrt(capacity_kb) * width_scale;
+}
+
+double SramModel::write_energy_pj() const { return kWritePenalty * read_energy_pj(); }
+
+double SramModel::leakage_w() const {
+  const double capacity_mb =
+      static_cast<double>(config_.capacity_bytes) / (1024.0 * 1024.0);
+  return kLeakage_w_per_MB * capacity_mb * config_.leakage_derate;
+}
+
+double SramModel::area_mm2() const {
+  const double capacity_mb =
+      static_cast<double>(config_.capacity_bytes) / (1024.0 * 1024.0);
+  return kArea_mm2_per_MB * capacity_mb + kAreaPeriphery_mm2;
+}
+
+}  // namespace resparc::tech

@@ -1,0 +1,229 @@
+#include "train/ann.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "snn/network.hpp"
+
+namespace resparc::train {
+
+using snn::LayerInfo;
+using snn::LayerKind;
+
+Ann::Ann(snn::Topology topology) : topology_(std::move(topology)) {
+  weights_.reserve(topology_.layer_count());
+  for (const auto& li : topology_.layers()) {
+    const auto ws = snn::weight_shape(li);
+    weights_.emplace_back(ws.rows, ws.cols);
+  }
+}
+
+void Ann::init_he(Rng& rng) {
+  for (auto& w : weights_) {
+    if (w.empty()) continue;
+    const double stddev = std::sqrt(2.0 / static_cast<double>(w.rows()));
+    for (float& v : w.flat()) v = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void Ann::layer_forward(std::size_t l, std::span<const float> in,
+                        std::span<float> out) const {
+  const LayerInfo& li = topology_.layers()[l];
+  const Matrix& w = weights_[l];
+  std::fill(out.begin(), out.end(), 0.0f);
+  switch (li.spec.kind) {
+    case LayerKind::kDense: {
+      matvec_in_major(w, in, out);
+      break;
+    }
+    case LayerKind::kConv: {
+      const Shape3 is = li.in_shape;
+      const Shape3 os = li.out_shape;
+      const std::size_t k = li.spec.kernel;
+      const std::size_t pad = li.spec.same_padding ? k / 2 : 0;
+      for (std::size_t oc = 0; oc < os.c; ++oc) {
+        for (std::size_t oy = 0; oy < os.h; ++oy) {
+          for (std::size_t ox = 0; ox < os.w; ++ox) {
+            float acc = 0.0f;
+            for (std::size_t c = 0; c < is.c; ++c) {
+              for (std::size_t ky = 0; ky < k; ++ky) {
+                const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                          static_cast<std::ptrdiff_t>(pad);
+                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(is.h)) continue;
+                for (std::size_t kx = 0; kx < k; ++kx) {
+                  const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox + kx) -
+                                            static_cast<std::ptrdiff_t>(pad);
+                  if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(is.w)) continue;
+                  acc += in[(c * is.h + static_cast<std::size_t>(iy)) * is.w +
+                            static_cast<std::size_t>(ix)] *
+                         w((c * k + ky) * k + kx, oc);
+                }
+              }
+            }
+            out[(oc * os.h + oy) * os.w + ox] = acc;
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kAvgPool: {
+      const Shape3 is = li.in_shape;
+      const Shape3 os = li.out_shape;
+      const std::size_t p = li.spec.pool;
+      const float share = 1.0f / static_cast<float>(p * p);
+      for (std::size_t c = 0; c < is.c; ++c)
+        for (std::size_t y = 0; y < is.h; ++y)
+          for (std::size_t x = 0; x < is.w; ++x)
+            out[(c * os.h + y / p) * os.w + x / p] +=
+                share * in[(c * is.h + y) * is.w + x];
+      break;
+    }
+  }
+}
+
+ForwardPass Ann::forward(std::span<const float> input) const {
+  require(input.size() == topology_.input_shape().size(),
+          "Ann::forward: input size mismatch");
+  ForwardPass pass;
+  pass.activations.reserve(topology_.layer_count() + 1);
+  pass.activations.emplace_back(input.begin(), input.end());
+  for (std::size_t l = 0; l < topology_.layer_count(); ++l) {
+    const LayerInfo& li = topology_.layers()[l];
+    std::vector<float> out(li.neurons, 0.0f);
+    layer_forward(l, pass.activations.back(), out);
+    const bool hidden = l + 1 < topology_.layer_count();
+    if (hidden && li.spec.kind != LayerKind::kAvgPool)
+      for (float& v : out) v = std::max(v, 0.0f);  // ReLU
+    pass.activations.push_back(std::move(out));
+  }
+  return pass;
+}
+
+std::vector<float> Ann::logits(std::span<const float> input) const {
+  return forward(input).activations.back();
+}
+
+int Ann::predict(std::span<const float> input) const {
+  const auto out = logits(input);
+  return static_cast<int>(std::distance(
+      out.begin(), std::max_element(out.begin(), out.end())));
+}
+
+void Ann::layer_backward(std::size_t l, std::span<const float> in,
+                         std::span<const float> /*out*/,
+                         std::span<const float> dout, std::span<float> din,
+                         Matrix& dw) const {
+  const LayerInfo& li = topology_.layers()[l];
+  const Matrix& w = weights_[l];
+  std::fill(din.begin(), din.end(), 0.0f);
+  switch (li.spec.kind) {
+    case LayerKind::kDense: {
+      for (std::size_t r = 0; r < w.rows(); ++r) {
+        const float xv = in[r];
+        const auto wrow = w.row(r);
+        auto grow = dw.row(r);
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < w.cols(); ++c) {
+          grow[c] += xv * dout[c];
+          acc += wrow[c] * dout[c];
+        }
+        din[r] = acc;
+      }
+      break;
+    }
+    case LayerKind::kConv: {
+      const Shape3 is = li.in_shape;
+      const Shape3 os = li.out_shape;
+      const std::size_t k = li.spec.kernel;
+      const std::size_t pad = li.spec.same_padding ? k / 2 : 0;
+      for (std::size_t oc = 0; oc < os.c; ++oc) {
+        for (std::size_t oy = 0; oy < os.h; ++oy) {
+          for (std::size_t ox = 0; ox < os.w; ++ox) {
+            const float g = dout[(oc * os.h + oy) * os.w + ox];
+            if (g == 0.0f) continue;
+            for (std::size_t c = 0; c < is.c; ++c) {
+              for (std::size_t ky = 0; ky < k; ++ky) {
+                const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                          static_cast<std::ptrdiff_t>(pad);
+                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(is.h)) continue;
+                for (std::size_t kx = 0; kx < k; ++kx) {
+                  const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox + kx) -
+                                            static_cast<std::ptrdiff_t>(pad);
+                  if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(is.w)) continue;
+                  const std::size_t iidx =
+                      (c * is.h + static_cast<std::size_t>(iy)) * is.w +
+                      static_cast<std::size_t>(ix);
+                  const std::size_t wrow = (c * k + ky) * k + kx;
+                  dw(wrow, oc) += in[iidx] * g;
+                  din[iidx] += w(wrow, oc) * g;
+                }
+              }
+            }
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kAvgPool: {
+      const Shape3 is = li.in_shape;
+      const Shape3 os = li.out_shape;
+      const std::size_t p = li.spec.pool;
+      const float share = 1.0f / static_cast<float>(p * p);
+      for (std::size_t c = 0; c < is.c; ++c)
+        for (std::size_t y = 0; y < is.h; ++y)
+          for (std::size_t x = 0; x < is.w; ++x)
+            din[(c * is.h + y) * is.w + x] =
+                share * dout[(c * os.h + y / p) * os.w + x / p];
+      break;
+    }
+  }
+}
+
+double Ann::backward(const ForwardPass& pass, int label,
+                     std::vector<Matrix>& grads) const {
+  require(grads.size() == weights_.size(),
+          "Ann::backward: gradient buffer count mismatch");
+  const auto& logits_v = pass.activations.back();
+  require(label >= 0 && static_cast<std::size_t>(label) < logits_v.size(),
+          "Ann::backward: label out of range");
+
+  // Softmax cross-entropy: dL/dlogit = softmax - onehot.
+  const float maxv = *std::max_element(logits_v.begin(), logits_v.end());
+  double denom = 0.0;
+  for (float v : logits_v) denom += std::exp(static_cast<double>(v - maxv));
+  std::vector<float> delta(logits_v.size());
+  for (std::size_t i = 0; i < logits_v.size(); ++i)
+    delta[i] = static_cast<float>(
+        std::exp(static_cast<double>(logits_v[i] - maxv)) / denom);
+  const double loss =
+      -std::log(std::max(1e-12, static_cast<double>(
+                                    delta[static_cast<std::size_t>(label)])));
+  delta[static_cast<std::size_t>(label)] -= 1.0f;
+
+  std::vector<float> dout = std::move(delta);
+  for (std::size_t li = topology_.layer_count(); li-- > 0;) {
+    const auto& in = pass.activations[li];
+    const auto& out = pass.activations[li + 1];
+    // ReLU derivative on hidden non-pool layers: gradient flows only where
+    // the recorded (post-ReLU) activation is positive.
+    const bool hidden = li + 1 < topology_.layer_count();
+    if (hidden && topology_.layers()[li].spec.kind != LayerKind::kAvgPool) {
+      for (std::size_t i = 0; i < dout.size(); ++i)
+        if (out[i] <= 0.0f) dout[i] = 0.0f;
+    }
+    std::vector<float> din(in.size(), 0.0f);
+    layer_backward(li, in, out, dout, din, grads[li]);
+    dout = std::move(din);
+  }
+  return loss;
+}
+
+std::vector<Matrix> Ann::make_grad_buffers() const {
+  std::vector<Matrix> grads;
+  grads.reserve(weights_.size());
+  for (const auto& w : weights_) grads.emplace_back(w.rows(), w.cols());
+  return grads;
+}
+
+}  // namespace resparc::train

@@ -1,0 +1,77 @@
+// Minimal analog (rate-based) neural network for offline training.
+//
+// The paper assumes SNNs are "trained offline using supervised training
+// algorithms" [Diehl et al., IJCNN'15]: train a conventional ReLU network,
+// then balance weights/thresholds into an IF spiking network.  This class
+// is that conventional network.  It reuses the snn::Topology IR and stores
+// weights in exactly the layout snn::Network uses, so conversion is a
+// scale-and-copy.
+//
+// Supported: dense / conv (stride 1) / average-pool layers, ReLU on every
+// hidden layer, linear output, softmax cross-entropy loss, no biases
+// (bias-free networks convert to IF neurons without auxiliary bias spikes).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "snn/topology.hpp"
+
+namespace resparc::train {
+
+/// Activations of every layer for one input (index 0 = input itself).
+struct ForwardPass {
+  std::vector<std::vector<float>> activations;
+  const std::vector<float>& output() const { return activations.back(); }
+};
+
+/// Trainable rate-based network mirroring an snn::Topology.
+class Ann {
+ public:
+  explicit Ann(snn::Topology topology);
+
+  const snn::Topology& topology() const { return topology_; }
+
+  /// Weight matrix of layer l (same layout as snn::Network: dense =
+  /// fan_in x units; conv = inC*k*k x outC; pool layers have an empty matrix).
+  Matrix& weights(std::size_t l) { return weights_.at(l); }
+  const Matrix& weights(std::size_t l) const { return weights_.at(l); }
+
+  /// He-normal initialisation of all trainable layers.
+  void init_he(Rng& rng);
+
+  /// Runs the network, returning all intermediate activations
+  /// (post-ReLU for hidden layers, linear for the output layer).
+  ForwardPass forward(std::span<const float> input) const;
+
+  /// Logits for an input (last activations of forward()).
+  std::vector<float> logits(std::span<const float> input) const;
+
+  /// Predicted class (argmax of logits).
+  int predict(std::span<const float> input) const;
+
+  /// Back-propagates softmax cross-entropy loss for `label` through a
+  /// recorded pass, ADDING gradients into `grads` (one Matrix per layer,
+  /// shapes matching weights()).  Returns the sample loss.
+  double backward(const ForwardPass& pass, int label,
+                  std::vector<Matrix>& grads) const;
+
+  /// Allocates a zeroed gradient accumulator matching the weights.
+  std::vector<Matrix> make_grad_buffers() const;
+
+ private:
+  void layer_forward(std::size_t l, std::span<const float> in,
+                     std::span<float> out) const;
+  void layer_backward(std::size_t l, std::span<const float> in,
+                      std::span<const float> out,
+                      std::span<const float> dout, std::span<float> din,
+                      Matrix& dw) const;
+
+  snn::Topology topology_;
+  std::vector<Matrix> weights_;
+};
+
+}  // namespace resparc::train

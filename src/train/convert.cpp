@@ -1,0 +1,75 @@
+#include "train/convert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace resparc::train {
+
+using snn::LayerKind;
+
+std::vector<double> max_activations(const Ann& ann,
+                                    std::span<const std::vector<float>> images,
+                                    double percentile) {
+  require(!images.empty(), "max_activations: need at least one image");
+  require(percentile > 0.0 && percentile <= 1.0,
+          "max_activations: percentile in (0,1]");
+  const std::size_t layers = ann.topology().layer_count();
+  // Collect per-layer activation samples (positive part only; IF rates
+  // cannot be negative).
+  std::vector<std::vector<float>> samples(layers);
+  for (const auto& img : images) {
+    const ForwardPass pass = ann.forward(img);
+    for (std::size_t l = 0; l < layers; ++l)
+      for (float a : pass.activations[l + 1])
+        if (a > 0.0f) samples[l].push_back(a);
+  }
+  std::vector<double> maxima(layers, 1.0);
+  for (std::size_t l = 0; l < layers; ++l) {
+    if (samples[l].empty()) continue;  // silent layer: keep scale 1
+    auto& v = samples[l];
+    const std::size_t idx = std::min(
+        v.size() - 1,
+        static_cast<std::size_t>(percentile * static_cast<double>(v.size() - 1)));
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                     v.end());
+    maxima[l] = std::max(1e-9, static_cast<double>(v[idx]));
+  }
+  return maxima;
+}
+
+snn::Network convert_to_snn(const Ann& ann,
+                            std::span<const std::vector<float>> calibration,
+                            const ConvertConfig& config) {
+  const auto maxima = max_activations(ann, calibration, config.percentile);
+  snn::Network net(ann.topology());
+
+  // Diehl weight normalisation: lambda_prev carries the running input
+  // scale.  Layer l's weights become W * lambda_{l-1} / lambda_l so that a
+  // unit-threshold IF neuron's rate approximates activation / lambda_l.
+  double lambda_prev = 1.0;  // inputs are already in [0,1]
+  for (std::size_t l = 0; l < ann.topology().layer_count(); ++l) {
+    const auto& li = ann.topology().layers()[l];
+    auto& lp = net.layer(l);
+    if (li.spec.kind == LayerKind::kAvgPool) {
+      // Pool neurons receive mean window drive m per step (weights sum to
+      // 1); with subtractive reset and threshold 1 their long-run rate is
+      // exactly m — rate-preserving, as the trained network assumes.
+      lp.neuron.v_threshold = 1.0;
+      continue;  // lambda unchanged: pooling preserves rate scale
+    }
+    const double lambda_l = maxima[l];
+    const double scale = lambda_prev / lambda_l;
+    const Matrix& src = ann.weights(l);
+    lp.weights = src;
+    for (float& w : lp.weights.flat())
+      w = static_cast<float>(static_cast<double>(w) * scale);
+    lp.neuron.v_threshold = config.v_threshold;
+    lp.neuron.subtractive_reset = true;
+    lambda_prev = lambda_l;
+  }
+  return net;
+}
+
+}  // namespace resparc::train

@@ -1,0 +1,39 @@
+// ANN -> SNN conversion by weight/threshold balancing.
+//
+// Implements the data-based normalisation of Diehl et al. (IJCNN'15), the
+// training flow the paper cites as reference [4]: after training a ReLU
+// network, rescale each trainable layer by the ratio of the maximum
+// activations seen on a calibration set, so that an IF neuron with
+// threshold 1 spikes at a rate proportional to the ReLU activation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "snn/network.hpp"
+#include "train/ann.hpp"
+
+namespace resparc::train {
+
+/// Conversion options.
+struct ConvertConfig {
+  /// Activation percentile treated as "max" during normalisation; 1.0 is
+  /// the strict Diehl rule, slightly lower (0.999) is robust to outliers.
+  double percentile = 1.0;
+  /// Threshold assigned to every converted (non-pool) layer.
+  double v_threshold = 1.0;
+};
+
+/// Converts a trained ANN into a spiking Network.  `calibration` images
+/// (flat, same shape as the topology input) drive the activation scan.
+snn::Network convert_to_snn(const Ann& ann,
+                            std::span<const std::vector<float>> calibration,
+                            const ConvertConfig& config = {});
+
+/// Per-layer maximum (or percentile) activations of the ANN over a set —
+/// exposed for tests of the normalisation rule.
+std::vector<double> max_activations(const Ann& ann,
+                                    std::span<const std::vector<float>> images,
+                                    double percentile);
+
+}  // namespace resparc::train

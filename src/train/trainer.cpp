@@ -1,0 +1,74 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace resparc::train {
+
+TrainReport train(Ann& ann, const data::Dataset& ds, const TrainConfig& config,
+                  Rng& rng) {
+  require(!ds.images.empty(), "train: empty dataset");
+  require(config.batch_size > 0, "train: batch size must be positive");
+
+  TrainReport report;
+  std::vector<std::size_t> order(ds.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::vector<Matrix> velocity = ann.make_grad_buffers();
+  double lr = config.learning_rate;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fisher–Yates reshuffle from our deterministic RNG.
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    std::vector<Matrix> grads = ann.make_grad_buffers();
+
+    for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config.batch_size);
+      for (auto& g : grads) g.fill(0.0f);
+      for (std::size_t i = start; i < end; ++i) {
+        const std::size_t s = order[i];
+        const ForwardPass pass = ann.forward(ds.images[s]);
+        loss_sum += ann.backward(pass, ds.labels[s], grads);
+        const auto& out = pass.output();
+        const int pred = static_cast<int>(std::distance(
+            out.begin(), std::max_element(out.begin(), out.end())));
+        if (pred == ds.labels[s]) ++correct;
+      }
+      const float scale =
+          static_cast<float>(lr / static_cast<double>(end - start));
+      for (std::size_t l = 0; l < grads.size(); ++l) {
+        if (grads[l].empty()) continue;
+        auto v = velocity[l].flat();
+        auto g = grads[l].flat();
+        auto w = ann.weights(l).flat();
+        const float mu = static_cast<float>(config.momentum);
+        for (std::size_t k = 0; k < w.size(); ++k) {
+          v[k] = mu * v[k] - scale * g[k];
+          w[k] += v[k];
+        }
+      }
+    }
+    report.epoch_loss.push_back(loss_sum / static_cast<double>(ds.size()));
+    report.epoch_accuracy.push_back(static_cast<double>(correct) /
+                                    static_cast<double>(ds.size()));
+    lr *= config.lr_decay;
+  }
+  report.final_accuracy = report.epoch_accuracy.back();
+  return report;
+}
+
+double ann_accuracy(const Ann& ann, const data::Dataset& ds) {
+  require(!ds.images.empty(), "ann_accuracy: empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    if (ann.predict(ds.images[i]) == ds.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(ds.size());
+}
+
+}  // namespace resparc::train

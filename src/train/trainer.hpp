@@ -1,0 +1,37 @@
+// Mini-batch SGD trainer for the rate-based network.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "train/ann.hpp"
+
+namespace resparc::train {
+
+/// Training hyper-parameters.
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 16;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double lr_decay = 0.95;  ///< multiplicative per-epoch decay
+};
+
+/// Per-epoch training record.
+struct TrainReport {
+  std::vector<double> epoch_loss;      ///< mean sample loss per epoch
+  std::vector<double> epoch_accuracy;  ///< training accuracy per epoch
+  double final_accuracy = 0.0;         ///< last epoch training accuracy
+};
+
+/// Trains `ann` in place on `ds` with SGD + momentum; deterministic given
+/// the Rng state (sample order is reshuffled each epoch from `rng`).
+TrainReport train(Ann& ann, const data::Dataset& ds, const TrainConfig& config,
+                  Rng& rng);
+
+/// Argmax accuracy of the rate-based network on a dataset.
+double ann_accuracy(const Ann& ann, const data::Dataset& ds);
+
+}  // namespace resparc::train

@@ -1,0 +1,158 @@
+// Unit tests for the rate-based ANN (train/ann.hpp), including a numerical
+// gradient check of the back-propagation.
+#include "train/ann.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace resparc::train {
+namespace {
+
+using snn::LayerSpec;
+using snn::Topology;
+
+TEST(Ann, DenseForwardMatchesHandComputation) {
+  Ann ann(Topology("d", Shape3{1, 1, 2}, {LayerSpec::dense(2)}));
+  ann.weights(0)(0, 0) = 1.0f;
+  ann.weights(0)(0, 1) = 2.0f;
+  ann.weights(0)(1, 0) = 3.0f;
+  ann.weights(0)(1, 1) = 4.0f;
+  const auto out = ann.logits(std::vector<float>{1.0f, 2.0f});
+  EXPECT_FLOAT_EQ(out[0], 1.0f + 2.0f * 3.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f + 2.0f * 4.0f);
+}
+
+TEST(Ann, ReluAppliesOnHiddenOnly) {
+  Ann ann(Topology("r", Shape3{1, 1, 1},
+                   {LayerSpec::dense(1), LayerSpec::dense(1)}));
+  ann.weights(0)(0, 0) = -1.0f;  // hidden gets -1 -> ReLU -> 0
+  ann.weights(1)(0, 0) = -5.0f;  // output may be negative (linear)
+  const auto pass = ann.forward(std::vector<float>{1.0f});
+  EXPECT_FLOAT_EQ(pass.activations[1][0], 0.0f);
+  Ann ann2(Topology("r2", Shape3{1, 1, 1}, {LayerSpec::dense(1)}));
+  ann2.weights(0)(0, 0) = -1.0f;
+  EXPECT_FLOAT_EQ(ann2.logits(std::vector<float>{1.0f})[0], -1.0f);
+}
+
+TEST(Ann, ConvForwardCentrePixel) {
+  Ann ann(Topology("c", Shape3{1, 3, 3}, {LayerSpec::conv(1, 3, true)}));
+  // Kernel one-hot at centre tap (ky=1,kx=1): output = input (same pad).
+  ann.weights(0)((0 * 3 + 1) * 3 + 1, 0) = 1.0f;
+  std::vector<float> img(9, 0.0f);
+  img[4] = 2.0f;
+  const auto out = ann.logits(img);
+  EXPECT_FLOAT_EQ(out[4], 2.0f);
+  float sum = 0.0f;
+  for (float v : out) sum += v;
+  EXPECT_FLOAT_EQ(sum, 2.0f);
+}
+
+TEST(Ann, PoolForwardAverages) {
+  Ann ann(Topology("p", Shape3{1, 2, 2}, {LayerSpec::avg_pool(2)}));
+  const auto out = ann.logits(std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+}
+
+TEST(Ann, PredictIsArgmax) {
+  Ann ann(Topology("a", Shape3{1, 1, 2}, {LayerSpec::dense(3)}));
+  ann.weights(0)(0, 1) = 5.0f;
+  EXPECT_EQ(ann.predict(std::vector<float>{1.0f, 0.0f}), 1);
+}
+
+TEST(Ann, BackwardLossPositiveAndFinite) {
+  Rng rng(1);
+  Ann ann(Topology("b", Shape3{1, 1, 4},
+                   {LayerSpec::dense(8), LayerSpec::dense(3)}));
+  ann.init_he(rng);
+  auto grads = ann.make_grad_buffers();
+  const auto pass = ann.forward(std::vector<float>{0.2f, 0.4f, 0.6f, 0.8f});
+  const double loss = ann.backward(pass, 1, grads);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(Ann, GradientMatchesFiniteDifferenceDense) {
+  Rng rng(2);
+  Ann ann(Topology("g", Shape3{1, 1, 3},
+                   {LayerSpec::dense(4), LayerSpec::dense(2)}));
+  ann.init_he(rng);
+  const std::vector<float> x{0.5f, -0.2f, 0.8f};
+  const int label = 1;
+
+  auto grads = ann.make_grad_buffers();
+  ann.backward(ann.forward(x), label, grads);
+
+  auto loss_of = [&]() {
+    auto g = ann.make_grad_buffers();
+    return ann.backward(ann.forward(x), label, g);
+  };
+  const float eps = 1e-3f;
+  for (std::size_t l = 0; l < 2; ++l) {
+    for (std::size_t idx : {std::size_t{0}, ann.weights(l).size() / 2}) {
+      float& w = ann.weights(l).flat()[idx];
+      const float orig = w;
+      w = orig + eps;
+      const double lp = loss_of();
+      w = orig - eps;
+      const double lm = loss_of();
+      w = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double analytic = grads[l].flat()[idx];
+      EXPECT_NEAR(analytic, numeric, 2e-2 * std::max(1.0, std::abs(numeric)))
+          << "layer " << l << " idx " << idx;
+    }
+  }
+}
+
+TEST(Ann, GradientMatchesFiniteDifferenceConv) {
+  Rng rng(3);
+  Ann ann(Topology("gc", Shape3{1, 4, 4},
+                   {LayerSpec::conv(2, 3, true), LayerSpec::avg_pool(2),
+                    LayerSpec::dense(2)}));
+  ann.init_he(rng);
+  std::vector<float> x(16);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  const int label = 0;
+
+  auto grads = ann.make_grad_buffers();
+  ann.backward(ann.forward(x), label, grads);
+  auto loss_of = [&]() {
+    auto g = ann.make_grad_buffers();
+    return ann.backward(ann.forward(x), label, g);
+  };
+  const float eps = 1e-3f;
+  for (std::size_t l : {std::size_t{0}, std::size_t{2}}) {
+    const std::size_t idx = 1;
+    float& w = ann.weights(l).flat()[idx];
+    const float orig = w;
+    w = orig + eps;
+    const double lp = loss_of();
+    w = orig - eps;
+    const double lm = loss_of();
+    w = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grads[l].flat()[idx], numeric,
+                2e-2 * std::max(1.0, std::abs(numeric)))
+        << "layer " << l;
+  }
+}
+
+TEST(Ann, BackwardValidatesLabel) {
+  Ann ann(Topology("v", Shape3{1, 1, 2}, {LayerSpec::dense(2)}));
+  auto grads = ann.make_grad_buffers();
+  const auto pass = ann.forward(std::vector<float>{1.0f, 0.0f});
+  EXPECT_THROW(ann.backward(pass, 5, grads), ConfigError);
+  EXPECT_THROW(ann.backward(pass, -1, grads), ConfigError);
+}
+
+TEST(Ann, ForwardValidatesInputSize) {
+  Ann ann(Topology("s", Shape3{1, 1, 4}, {LayerSpec::dense(2)}));
+  EXPECT_THROW(ann.forward(std::vector<float>{1.0f}), ConfigError);
+}
+
+}  // namespace
+}  // namespace resparc::train

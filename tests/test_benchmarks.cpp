@@ -1,0 +1,100 @@
+// Tests pinning the six paper benchmarks (snn/benchmarks.hpp) to Fig. 10.
+#include "snn/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resparc::snn {
+namespace {
+
+TEST(Benchmarks, NeuronTotalsMatchPaperExactly) {
+  // The headline property: every topology reproduces the paper's neuron
+  // count under its row's counting convention (DESIGN.md section 3).
+  for (const auto& b : paper_benchmarks()) {
+    EXPECT_EQ(b.neuron_count(), b.paper_neurons)
+        << b.topology.name() << " (" << b.topology.summary() << ")";
+  }
+}
+
+TEST(Benchmarks, SixBenchmarksThreeDatasets) {
+  const auto all = paper_benchmarks();
+  ASSERT_EQ(all.size(), 6u);
+  int mlp = 0, cnn = 0;
+  for (const auto& b : all) b.topology.is_convolutional() ? ++cnn : ++mlp;
+  EXPECT_EQ(mlp, 3);
+  EXPECT_EQ(cnn, 3);
+}
+
+TEST(Benchmarks, MnistMlpShape) {
+  const auto b = mnist_mlp();
+  EXPECT_EQ(b.topology.summary(), "28x28-800-784-10");
+  EXPECT_EQ(b.topology.neuron_count(true), 2378u);
+  EXPECT_EQ(b.paper_layers, 4u);  // 28x28 input counts as a layer
+  EXPECT_EQ(b.topology.layer_count() + 1, b.paper_layers);
+}
+
+TEST(Benchmarks, SvhnMlpShape) {
+  const auto b = svhn_mlp();
+  EXPECT_EQ(b.topology.input_neurons(), 768u);  // 16x16x3 downsampled
+  EXPECT_EQ(b.topology.neuron_count(true), 2778u);
+}
+
+TEST(Benchmarks, CifarMlpShape) {
+  const auto b = cifar_mlp();
+  EXPECT_EQ(b.topology.neuron_count(true), 3778u);
+  EXPECT_EQ(b.topology.layer_count() + 1, 5u);  // paper counts 5 layers
+}
+
+TEST(Benchmarks, MnistCnnShape) {
+  const auto b = mnist_cnn();
+  EXPECT_EQ(b.topology.neuron_count(false), 66778u);
+  EXPECT_EQ(b.topology.layer_count(), 6u);
+  EXPECT_TRUE(b.topology.is_convolutional());
+}
+
+TEST(Benchmarks, SvhnCnnShape) {
+  EXPECT_EQ(svhn_cnn().topology.neuron_count(false), 124570u);
+}
+
+TEST(Benchmarks, CifarCnnShape) {
+  EXPECT_EQ(cifar_cnn().topology.neuron_count(false), 231066u);
+}
+
+TEST(Benchmarks, PaperSynapseFiguresAreRecorded) {
+  // We keep the paper's reported figures alongside ours; the MLP rows
+  // follow the "neurons x width" convention exactly.
+  EXPECT_EQ(mnist_mlp().paper_synapses, 2378u * 800u);
+  EXPECT_EQ(svhn_mlp().paper_synapses, 2778u * 1000u);
+  EXPECT_EQ(cifar_mlp().paper_synapses, 3778u * 1000u);
+}
+
+TEST(Benchmarks, MlpsAreDenseOnly) {
+  for (const auto& b : {mnist_mlp(), svhn_mlp(), cifar_mlp()})
+    for (const auto& li : b.topology.layers())
+      EXPECT_EQ(li.spec.kind, LayerKind::kDense);
+}
+
+TEST(Benchmarks, TenClassOutputs) {
+  for (const auto& b : paper_benchmarks())
+    EXPECT_EQ(b.topology.output_count(), 10u);
+}
+
+TEST(Benchmarks, SmallVariantsBuild) {
+  for (auto kind : {DatasetKind::kMnistLike, DatasetKind::kSvhnLike,
+                    DatasetKind::kCifarLike}) {
+    const Topology mlp = small_mlp_topology(kind);
+    const Topology cnn = small_cnn_topology(kind);
+    EXPECT_EQ(mlp.output_count(), 10u);
+    EXPECT_EQ(cnn.output_count(), 10u);
+    EXPECT_TRUE(cnn.is_convolutional());
+    EXPECT_LT(mlp.synapse_count(), 300000u);  // genuinely small
+  }
+}
+
+TEST(Benchmarks, DatasetNames) {
+  EXPECT_EQ(to_string(DatasetKind::kMnistLike), "MNIST");
+  EXPECT_EQ(to_string(DatasetKind::kSvhnLike), "SVHN");
+  EXPECT_EQ(to_string(DatasetKind::kCifarLike), "CIFAR-10");
+}
+
+}  // namespace
+}  // namespace resparc::snn

@@ -1,0 +1,167 @@
+// Unit tests for the CMOS baseline (cmos/falcon.hpp).
+#include "cmos/falcon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "snn/benchmarks.hpp"
+#include "snn/simulator.hpp"
+
+namespace resparc::cmos {
+namespace {
+
+using snn::LayerSpec;
+using snn::Topology;
+
+struct Fixture {
+  explicit Fixture(Topology t, double activity = 0.1)
+      : topo(std::move(t)), net(topo) {
+    Rng rng(1);
+    net.init_random(rng, 1.0f);
+    std::vector<std::vector<float>> images;
+    for (int i = 0; i < 2; ++i) {
+      std::vector<float> img(topo.input_shape().size());
+      for (auto& p : img) p = static_cast<float>(rng.uniform(0.0, 1.0));
+      images.push_back(std::move(img));
+    }
+    snn::SimConfig cfg;
+    cfg.timesteps = 12;
+    snn::calibrate_thresholds(net, images, cfg, rng, activity);
+    snn::Simulator sim(net, cfg);
+    for (const auto& img : images) traces.push_back(sim.run(img, rng).trace);
+  }
+  Topology topo;
+  snn::Network net;
+  std::vector<snn::SpikeTrace> traces;
+};
+
+Topology mlp_topo() {
+  return Topology("m", Shape3{1, 1, 128},
+                  {LayerSpec::dense(256), LayerSpec::dense(10)});
+}
+
+Topology cnn_topo() {
+  return Topology("c", Shape3{1, 12, 12},
+                  {LayerSpec::conv(8, 3), LayerSpec::avg_pool(2),
+                   LayerSpec::dense(10)});
+}
+
+TEST(Cmos, ConfigValidation) {
+  FalconConfig c;
+  c.neuron_units = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = FalconConfig{};
+  c.nu_width_bits = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = FalconConfig{};
+  c.weight_bits = 20;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(Cmos, Fig9CyclesPerSynop) {
+  // 16-bit membranes on a 4-bit NU datapath: 4 cycles per synop.
+  FalconConfig c;
+  EXPECT_DOUBLE_EQ(c.cycles_per_synop(), 4.0);
+}
+
+TEST(Cmos, WeightMemorySizedToNetwork) {
+  Fixture fx(mlp_topo());
+  FalconAccelerator acc(fx.topo, {});
+  // 128*256 + 256*10 weights at 4 bits.
+  const std::size_t bits = (128 * 256 + 256 * 10) * 4;
+  EXPECT_EQ(acc.weight_memory_bytes(), bits / 8);
+  EXPECT_GT(acc.state_memory_bytes(), 0u);
+}
+
+TEST(Cmos, RunProducesPositiveEverything) {
+  Fixture fx(mlp_topo());
+  FalconAccelerator acc(fx.topo, {});
+  const CmosReport r = acc.run(fx.traces[0]);
+  EXPECT_GT(r.energy.core_pj, 0.0);
+  EXPECT_GT(r.energy.memory_access_pj, 0.0);
+  EXPECT_GT(r.energy.memory_leakage_pj, 0.0);
+  EXPECT_GT(r.cycles, 0.0);
+  EXPECT_GT(r.latency_ns(), 0.0);
+  EXPECT_GT(r.throughput_hz(), 0.0);
+}
+
+TEST(Cmos, EventDrivenSkipsReduceWork) {
+  Fixture fx(mlp_topo(), 0.05);
+  FalconConfig on{}, off{};
+  off.event_driven = false;
+  const CmosReport r_on = FalconAccelerator(fx.topo, on).run_all(fx.traces);
+  const CmosReport r_off = FalconAccelerator(fx.topo, off).run_all(fx.traces);
+  EXPECT_LT(r_on.energy.total_pj(), r_off.energy.total_pj());
+  EXPECT_LT(r_on.cycles, r_off.cycles);
+  EXPECT_GT(r_on.events.synops_skipped, 0u);
+}
+
+TEST(Cmos, MlpIsMemoryDominated) {
+  // Fig. 12(b): MLP energy dominated by memory access + leakage.
+  Fixture fx(Topology("bigmlp", Shape3{1, 1, 784},
+                      {LayerSpec::dense(800), LayerSpec::dense(10)}));
+  const CmosReport r = FalconAccelerator(fx.topo, {}).run_all(fx.traces);
+  EXPECT_GT(r.energy.memory_access_pj + r.energy.memory_leakage_pj,
+            r.energy.core_pj);
+}
+
+TEST(Cmos, CnnIsCoreDominated) {
+  // Fig. 12(d): conv weight reuse shrinks memory traffic; compute leads.
+  Fixture fx(Topology("bigcnn", Shape3{1, 28, 28},
+                      {LayerSpec::conv(16, 3), LayerSpec::avg_pool(2),
+                       LayerSpec::conv(32, 3), LayerSpec::avg_pool(2),
+                       LayerSpec::dense(10)}));
+  const CmosReport r = FalconAccelerator(fx.topo, {}).run_all(fx.traces);
+  EXPECT_GT(r.energy.core_pj, r.energy.memory_access_pj);
+}
+
+TEST(Cmos, EnergyGrowsWithWeightBits) {
+  // Fig. 14(b): baseline energy increases with bit precision.
+  Fixture fx(mlp_topo());
+  double prev = 0.0;
+  for (int bits : {1, 2, 4, 8}) {
+    FalconConfig c;
+    c.weight_bits = bits;
+    const CmosReport r = FalconAccelerator(fx.topo, c).run_all(fx.traces);
+    EXPECT_GT(r.energy.total_pj(), prev);
+    prev = r.energy.total_pj();
+  }
+}
+
+TEST(Cmos, ThroughputScalesWithNuCount) {
+  Fixture fx(mlp_topo());
+  FalconConfig few{}, many{};
+  few.neuron_units = 4;
+  many.neuron_units = 64;
+  const CmosReport r_few = FalconAccelerator(fx.topo, few).run(fx.traces[0]);
+  const CmosReport r_many = FalconAccelerator(fx.topo, many).run(fx.traces[0]);
+  EXPECT_LT(r_many.cycles, r_few.cycles);
+}
+
+TEST(Cmos, MetricsTableShape) {
+  const BaselineMetrics m = baseline_metrics({});
+  EXPECT_EQ(m.nu_count, 16u);
+  EXPECT_DOUBLE_EQ(m.frequency_mhz, 1000.0);
+  EXPECT_GT(m.area_mm2, 0.0);
+  EXPECT_GT(m.power_mw, 0.0);
+  EXPECT_GT(m.gate_count, 0.0);
+}
+
+TEST(Cmos, RejectsMismatchedTrace) {
+  Fixture fx(mlp_topo());
+  FalconAccelerator acc(fx.topo, {});
+  snn::SpikeTrace bad;
+  bad.layers.resize(1);
+  bad.layers[0].emplace_back(128);
+  EXPECT_THROW(acc.run(bad), ConfigError);
+}
+
+TEST(Cmos, PoolLayersFetchNoWeights) {
+  Fixture fx(Topology("pool-only", Shape3{1, 8, 8}, {LayerSpec::avg_pool(2)}));
+  const CmosReport r = FalconAccelerator(fx.topo, {}).run(fx.traces[0]);
+  EXPECT_EQ(r.events.weight_words, 0u);
+}
+
+}  // namespace
+}  // namespace resparc::cmos

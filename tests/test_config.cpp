@@ -1,0 +1,57 @@
+// Unit tests for the RESPARC configuration (core/config.hpp).
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace resparc::core {
+namespace {
+
+TEST(Config, DefaultMatchesPaperFig8) {
+  const ResparcConfig c = default_config();
+  EXPECT_EQ(c.mca_size, 64u);
+  EXPECT_EQ(c.mcas_per_mpe, 4u);
+  EXPECT_EQ(c.mpes_per_neurocell(), 16u);   // 4x4 NC dimension
+  EXPECT_EQ(c.switches_per_neurocell(), 9u);  // Fig. 8: 16 mPEs, 9 switches
+  EXPECT_TRUE(c.event_driven);
+  EXPECT_DOUBLE_EQ(c.technology.resparc_clock_mhz, 200.0);
+}
+
+TEST(Config, ColumnCapacity) {
+  const ResparcConfig c = default_config();
+  EXPECT_EQ(c.mcas_per_neurocell(), 64u);
+  EXPECT_EQ(c.columns_per_neurocell(), 64u * 64u);
+}
+
+TEST(Config, WithMcaSweepsSize) {
+  for (std::size_t n : {32u, 64u, 128u}) {
+    const ResparcConfig c = config_with_mca(n);
+    EXPECT_EQ(c.mca_size, n);
+    EXPECT_EQ(c.label(), "RESPARC-" + std::to_string(n));
+  }
+}
+
+TEST(Config, ValidationRejectsBadValues) {
+  ResparcConfig c;
+  c.mca_size = 4;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = ResparcConfig{};
+  c.mcas_per_mpe = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = ResparcConfig{};
+  c.nc_dim = 1;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = ResparcConfig{};
+  c.input_sram_bytes = 16;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(Config, BaselineClockIsFasterPerPaper) {
+  const ResparcConfig c = default_config();
+  // Fig. 8 vs Fig. 9: 200 MHz NeuroCell vs 1 GHz baseline.
+  EXPECT_GT(c.technology.baseline_clock_mhz, c.technology.resparc_clock_mhz);
+}
+
+}  // namespace
+}  // namespace resparc::core

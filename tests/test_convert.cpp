@@ -1,0 +1,107 @@
+// Unit tests for ANN->SNN conversion (train/convert.hpp).
+#include "train/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "snn/simulator.hpp"
+#include "train/trainer.hpp"
+
+namespace resparc::train {
+namespace {
+
+using data::Dataset;
+using snn::DatasetKind;
+using snn::LayerSpec;
+using snn::Topology;
+
+TEST(Convert, MaxActivationsPositive) {
+  Rng rng(1);
+  Ann ann(Topology("m", Shape3{1, 1, 4},
+                   {LayerSpec::dense(8), LayerSpec::dense(3)}));
+  ann.init_he(rng);
+  std::vector<std::vector<float>> images{{0.5f, 0.5f, 0.5f, 0.5f},
+                                         {1.0f, 0.0f, 1.0f, 0.0f}};
+  const auto maxima = max_activations(ann, images, 1.0);
+  ASSERT_EQ(maxima.size(), 2u);
+  for (double m : maxima) EXPECT_GT(m, 0.0);
+}
+
+TEST(Convert, PercentileBoundsChecked) {
+  Ann ann(Topology("p", Shape3{1, 1, 2}, {LayerSpec::dense(2)}));
+  std::vector<std::vector<float>> images{{1.0f, 1.0f}};
+  EXPECT_THROW(max_activations(ann, images, 0.0), ConfigError);
+  EXPECT_THROW(max_activations(ann, images, 1.1), ConfigError);
+}
+
+TEST(Convert, ThresholdsAreOneAfterConversion) {
+  Rng rng(2);
+  Ann ann(Topology("t", Shape3{1, 1, 4},
+                   {LayerSpec::dense(8), LayerSpec::dense(3)}));
+  ann.init_he(rng);
+  std::vector<std::vector<float>> images{{0.3f, 0.6f, 0.9f, 0.1f}};
+  const snn::Network net = convert_to_snn(ann, images);
+  EXPECT_DOUBLE_EQ(net.layer(0).neuron.v_threshold, 1.0);
+  EXPECT_DOUBLE_EQ(net.layer(1).neuron.v_threshold, 1.0);
+}
+
+TEST(Convert, WeightScalingPreservesRatios) {
+  // Within one layer all weights scale by the same factor, so ratios of
+  // weights must be preserved exactly.
+  Rng rng(3);
+  Ann ann(Topology("r", Shape3{1, 1, 3}, {LayerSpec::dense(4)}));
+  ann.init_he(rng);
+  std::vector<std::vector<float>> images{{1.0f, 0.5f, 0.2f}};
+  const snn::Network net = convert_to_snn(ann, images);
+  const float a0 = ann.weights(0)(0, 0);
+  const float a1 = ann.weights(0)(1, 1);
+  const float s0 = net.layer(0).weights(0, 0);
+  const float s1 = net.layer(0).weights(1, 1);
+  ASSERT_NE(a1, 0.0f);
+  ASSERT_NE(s1, 0.0f);
+  EXPECT_NEAR(a0 / a1, s0 / s1, 1e-4);
+}
+
+TEST(Convert, SnnRatesTrackAnnActivations) {
+  // End-to-end Diehl property: the converted SNN's output spike ranking
+  // matches the ANN's logit ranking on training-like data.
+  const Dataset ds = data::make_synthetic(
+      DatasetKind::kMnistLike,
+      {.count = 100, .seed = 4, .noise = 0.03, .jitter_pixels = 1.0});
+  Ann ann(Topology("e", Shape3{1, 28, 28},
+                   {LayerSpec::dense(48), LayerSpec::dense(10)}));
+  Rng rng(4);
+  ann.init_he(rng);
+  train(ann, ds, {.epochs = 20, .batch_size = 10, .learning_rate = 0.02}, rng);
+
+  const snn::Network net = convert_to_snn(ann, ds.images);
+  snn::SimConfig cfg;
+  cfg.timesteps = 64;
+  cfg.record_trace = false;
+  int agree = 0;
+  const int n = 30;
+  snn::Simulator sim(net, cfg);
+  for (int i = 0; i < n; ++i) {
+    const auto r = sim.run(ds.images[static_cast<std::size_t>(i)], rng);
+    if (static_cast<int>(r.predicted_class) ==
+        ann.predict(ds.images[static_cast<std::size_t>(i)]))
+      ++agree;
+  }
+  EXPECT_GT(agree, n * 7 / 10);  // >70% argmax agreement
+}
+
+TEST(Convert, PoolLayersKeepUnitThreshold) {
+  Rng rng(5);
+  Ann ann(Topology("pp", Shape3{1, 4, 4},
+                   {LayerSpec::conv(2, 3, true), LayerSpec::avg_pool(2),
+                    LayerSpec::dense(3)}));
+  ann.init_he(rng);
+  std::vector<std::vector<float>> images{std::vector<float>(16, 0.5f)};
+  const snn::Network net = convert_to_snn(ann, images);
+  EXPECT_DOUBLE_EQ(net.layer(1).neuron.v_threshold, 1.0);
+  EXPECT_TRUE(net.layer(1).weights.empty());
+}
+
+}  // namespace
+}  // namespace resparc::train

@@ -1,0 +1,150 @@
+// Unit tests for the crossbar electrical model (tech/crossbar_model.hpp).
+#include "tech/crossbar_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace resparc::tech {
+namespace {
+
+/// Ideal device (sneak disabled) so the linearity assertions below hold
+/// exactly; sneak behaviour has its own dedicated test.
+Memristor device() {
+  MemristorParams p = pcm_params();
+  p.sneak_leak_fraction = 0.0;
+  return Memristor{p};
+}
+
+TEST(CrossbarModel, StartsAtGmin) {
+  CrossbarModel xbar(4, 4, device());
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_DOUBLE_EQ(xbar.conductance_at(r, c), device().g_min());
+}
+
+TEST(CrossbarModel, ProgramShapeChecked) {
+  CrossbarModel xbar(4, 4, device());
+  EXPECT_THROW(xbar.program(Matrix(3, 4)), ShapeError);
+}
+
+TEST(CrossbarModel, KirchhoffColumnSum) {
+  // I_c = sum over active rows of V * G(r,c).
+  CrossbarModel xbar(2, 2, device());
+  Matrix mags(2, 2);
+  mags(0, 0) = 1.0f;  // G_on
+  mags(0, 1) = 0.0f;  // G_off
+  mags(1, 0) = 1.0f;
+  mags(1, 1) = 1.0f;
+  xbar.program(mags);
+  const std::vector<std::uint8_t> spikes{1, 1};
+  std::vector<double> currents(2);
+  xbar.read_currents(spikes, currents);
+  const double v = 0.5;
+  EXPECT_NEAR(currents[0], v * 2.0 * xbar.device().g_max(), 1e-12);
+  EXPECT_NEAR(currents[1], v * (xbar.device().g_min() + xbar.device().g_max()),
+              1e-12);
+}
+
+TEST(CrossbarModel, SilentRowsContributeNothing) {
+  CrossbarModel xbar(2, 1, device());
+  Matrix mags(2, 1, 1.0f);
+  xbar.program(mags);
+  std::vector<double> both(1), one(1);
+  xbar.read_currents(std::vector<std::uint8_t>{1, 1}, both);
+  xbar.read_currents(std::vector<std::uint8_t>{1, 0}, one);
+  EXPECT_NEAR(both[0], 2.0 * one[0], 1e-12);
+}
+
+TEST(CrossbarModel, ReadEnergyScalesWithActiveRows) {
+  CrossbarModel xbar(8, 8, device());
+  Matrix mags(8, 8, 0.5f);
+  xbar.program(mags);
+  std::vector<std::uint8_t> none(8, 0), half(8, 0), all(8, 1);
+  for (int i = 0; i < 4; ++i) half[static_cast<std::size_t>(i)] = 1;
+  EXPECT_DOUBLE_EQ(xbar.read_energy_pj(none), 0.0);
+  const double e_half = xbar.read_energy_pj(half);
+  const double e_all = xbar.read_energy_pj(all);
+  EXPECT_GT(e_half, 0.0);
+  EXPECT_NEAR(e_all, 2.0 * e_half, 1e-9);
+}
+
+TEST(CrossbarModel, MeanReadEnergyMatchesAnalytic) {
+  CrossbarModel xbar(16, 16, device());
+  const double per_cell = device().mean_cell_read_energy_pj();
+  EXPECT_NEAR(xbar.mean_read_energy_pj(4.0, 16.0), 4.0 * 16.0 * per_cell, 1e-12);
+}
+
+TEST(CrossbarModel, IdealHasNoAttenuation) {
+  CrossbarModel xbar(64, 64, device());
+  EXPECT_DOUBLE_EQ(xbar.worst_case_ir_attenuation(), 1.0);
+}
+
+TEST(CrossbarModel, IrDropWorsensWithArraySize) {
+  // The paper's core reliability argument: larger arrays see more wire
+  // segments, hence worse worst-case signal attenuation.
+  CrossbarNonIdealities ni;
+  ni.wire_resistance_ohm = 5.0;
+  double prev = 1.0;
+  for (std::size_t n : {32u, 64u, 128u, 256u}) {
+    CrossbarModel xbar(n, n, device());
+    Matrix mags(n, n, 1.0f);
+    xbar.program(mags, ni);
+    const double att = xbar.worst_case_ir_attenuation();
+    EXPECT_LT(att, prev);
+    prev = att;
+  }
+}
+
+TEST(CrossbarModel, StuckOffForcesGmin) {
+  CrossbarModel xbar(8, 8, device());
+  Matrix mags(8, 8, 1.0f);
+  CrossbarNonIdealities ni;
+  ni.stuck_off_probability = 1.0;  // every device defective
+  Rng rng(1);
+  xbar.program(mags, ni, &rng);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 8; ++c)
+      EXPECT_DOUBLE_EQ(xbar.conductance_at(r, c), device().g_min());
+}
+
+TEST(CrossbarModel, StochasticNeedsRng) {
+  CrossbarModel xbar(2, 2, device());
+  Matrix mags(2, 2, 0.5f);
+  CrossbarNonIdealities ni;
+  ni.programming_sigma = 0.1;
+  EXPECT_THROW(xbar.program(mags, ni, nullptr), ConfigError);
+}
+
+TEST(CrossbarModel, ProgrammingNoiseStaysInBounds) {
+  CrossbarModel xbar(16, 16, device());
+  Matrix mags(16, 16, 0.5f);
+  CrossbarNonIdealities ni;
+  ni.programming_sigma = 2.0;  // huge noise; clamping must hold
+  Rng rng(7);
+  xbar.program(mags, ni, &rng);
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 16; ++c) {
+      const double g = xbar.conductance_at(r, c);
+      EXPECT_GE(g, device().g_min());
+      EXPECT_LE(g, device().g_max());
+    }
+}
+
+TEST(CrossbarModel, SneakLeakageAddsIdleRowEnergy) {
+  MemristorParams p = pcm_params();
+  p.sneak_leak_fraction = 0.1;
+  CrossbarModel leaky(8, 8, Memristor{p});
+  CrossbarModel ideal(8, 8, device());
+  Matrix mags(8, 8, 0.5f);
+  leaky.program(mags);
+  ideal.program(mags);
+  std::vector<std::uint8_t> one(8, 0);
+  one[0] = 1;
+  EXPECT_GT(leaky.read_energy_pj(one), ideal.read_energy_pj(one));
+}
+
+}  // namespace
+}  // namespace resparc::tech

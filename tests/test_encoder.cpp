@@ -1,0 +1,91 @@
+// Unit tests for rate encoding (snn/encoder.hpp).
+#include "snn/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace resparc::snn {
+namespace {
+
+TEST(Encoder, RejectsBadRate) {
+  EXPECT_THROW(RateEncoder({.max_rate = 0.0}), ConfigError);
+  EXPECT_THROW(RateEncoder({.max_rate = 1.5}), ConfigError);
+}
+
+TEST(Encoder, ZeroPixelNeverSpikes) {
+  RateEncoder enc({.max_rate = 1.0, .poisson = true});
+  Rng rng(1);
+  std::vector<float> img{0.0f};
+  const auto spikes = enc.encode(img, 64, rng);
+  for (const auto& v : spikes) EXPECT_TRUE(v.none());
+}
+
+TEST(Encoder, FullPixelAlwaysSpikesAtUnitRate) {
+  RateEncoder enc({.max_rate = 1.0, .poisson = true});
+  Rng rng(2);
+  std::vector<float> img{1.0f};
+  const auto spikes = enc.encode(img, 64, rng);
+  for (const auto& v : spikes) EXPECT_TRUE(v.get(0));
+}
+
+TEST(Encoder, PoissonRateMatchesIntensity) {
+  RateEncoder enc({.max_rate = 1.0, .poisson = true});
+  Rng rng(3);
+  std::vector<float> img{0.3f};
+  std::size_t fired = 0;
+  const std::size_t T = 20000;
+  const auto spikes = enc.encode(img, T, rng);
+  for (const auto& v : spikes) fired += v.count();
+  EXPECT_NEAR(static_cast<double>(fired) / static_cast<double>(T), 0.3, 0.02);
+}
+
+TEST(Encoder, MaxRateScalesProbability) {
+  RateEncoder enc({.max_rate = 0.5, .poisson = true});
+  Rng rng(4);
+  std::vector<float> img{1.0f};
+  std::size_t fired = 0;
+  const std::size_t T = 20000;
+  const auto spikes = enc.encode(img, T, rng);
+  for (const auto& v : spikes) fired += v.count();
+  EXPECT_NEAR(static_cast<double>(fired) / static_cast<double>(T), 0.5, 0.02);
+}
+
+TEST(Encoder, DeterministicModeIsReproducible) {
+  RateEncoder enc({.max_rate = 1.0, .poisson = false});
+  Rng rng1(5), rng2(99);  // rng must be ignored
+  std::vector<float> img{0.25f, 0.7f};
+  const auto a = enc.encode(img, 32, rng1);
+  const auto b = enc.encode(img, 32, rng2);
+  for (std::size_t t = 0; t < 32; ++t)
+    for (std::size_t i = 0; i < 2; ++i) EXPECT_EQ(a[t].get(i), b[t].get(i));
+}
+
+TEST(Encoder, DeterministicRateExact) {
+  RateEncoder enc({.max_rate = 1.0, .poisson = false});
+  Rng rng(6);
+  std::vector<float> img{0.25f};
+  const auto spikes = enc.encode(img, 400, rng);
+  std::size_t fired = 0;
+  for (const auto& v : spikes) fired += v.count();
+  EXPECT_EQ(fired, 100u);  // exactly one spike every 4 steps
+}
+
+TEST(Encoder, ClampsOutOfRangePixels) {
+  RateEncoder enc({.max_rate = 1.0, .poisson = false});
+  Rng rng(7);
+  std::vector<float> img{-0.5f, 2.0f};
+  const auto spikes = enc.encode(img, 8, rng);
+  std::size_t neg = 0, over = 0;
+  for (const auto& v : spikes) {
+    neg += v.get(0);
+    over += v.get(1);
+  }
+  EXPECT_EQ(neg, 0u);
+  EXPECT_EQ(over, 8u);
+}
+
+}  // namespace
+}  // namespace resparc::snn

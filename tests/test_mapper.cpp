@@ -1,0 +1,257 @@
+// Unit tests for the hierarchical mapper (core/mapper.hpp) — the heart of
+// the paper's section 3.1 reconfigurability story.
+#include "core/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "snn/benchmarks.hpp"
+
+namespace resparc::core {
+namespace {
+
+using snn::LayerSpec;
+using snn::Topology;
+
+ResparcConfig cfg(std::size_t n) { return config_with_mca(n); }
+
+// ---------------------------------------------------------------------------
+// Dense layers
+// ---------------------------------------------------------------------------
+
+TEST(MapperDense, SmallLayerFitsOneMca) {
+  Topology t("d", Shape3{1, 1, 32}, {LayerSpec::dense(16)});
+  const Mapping m = map_network(t, cfg(64));
+  ASSERT_EQ(m.layers.size(), 1u);
+  EXPECT_EQ(m.layers[0].mca_count, 1u);
+  EXPECT_EQ(m.layers[0].mux_degree, 1u);
+  EXPECT_EQ(m.layers[0].mux_cycles, 1u);
+  EXPECT_EQ(m.layers[0].ccu_transfers_per_neuron, 0u);
+}
+
+TEST(MapperDense, TileGridCounts) {
+  // 784 x 800 dense on 64x64 MCAs: 13 row slices x 13 column groups.
+  Topology t("d", Shape3{1, 1, 784}, {LayerSpec::dense(800)});
+  const Mapping m = map_network(t, cfg(64));
+  EXPECT_EQ(m.layers[0].groups.size(), 13u);
+  EXPECT_EQ(m.layers[0].mca_count, 13u * 13u);
+  EXPECT_EQ(m.layers[0].mux_degree, 13u);
+  // ceil(13/4) = 4 serial integration cycles; 3 CCU transfers per neuron.
+  EXPECT_EQ(m.layers[0].mux_cycles, 4u);
+  EXPECT_EQ(m.layers[0].ccu_transfers_per_neuron, 3u);
+}
+
+TEST(MapperDense, ExactFitNoWaste) {
+  Topology t("d", Shape3{1, 1, 128}, {LayerSpec::dense(128)});
+  const Mapping m = map_network(t, cfg(64));
+  EXPECT_EQ(m.layers[0].mca_count, 4u);
+  EXPECT_DOUBLE_EQ(m.layers[0].utilization, 1.0);
+}
+
+TEST(MapperDense, MlpUtilizationHigh) {
+  // The paper's premise: MLPs utilise MCAs nearly fully (section 5.1).
+  const auto b = snn::mnist_mlp();
+  const Mapping m = map_network(b.topology, cfg(64));
+  EXPECT_GT(m.utilization, 0.85);
+}
+
+// ---------------------------------------------------------------------------
+// Convolution layers
+// ---------------------------------------------------------------------------
+
+TEST(MapperConv, PerPositionTilesByDefault) {
+  // Paper-baseline policy: each MCA's columns are the output channels of
+  // one spatial position; rows shared only within that receptive field.
+  Topology t("c", Shape3{1, 12, 12}, {LayerSpec::conv(8, 3, true)});
+  const Mapping m = map_network(t, cfg(64));
+  const LayerMapping& lm = m.layers[0];
+  EXPECT_EQ(lm.mux_degree, 1u);
+  EXPECT_EQ(lm.groups.size(), 144u);  // one group per output position
+  EXPECT_EQ(lm.mca_count, 144u);      // 8 channels fit one array's columns
+  // Single-channel 3x3 conv wastes most of a 64x64 array.
+  EXPECT_LT(lm.utilization, 0.05);
+}
+
+TEST(MapperConv, EnhancedInputSharingPacksWindows) {
+  // Section 3.1.1's improvement: adjacent output positions share rows.
+  Topology t("c", Shape3{1, 12, 12}, {LayerSpec::conv(8, 3, true)});
+  ResparcConfig enhanced = cfg(64);
+  enhanced.enhanced_input_sharing = true;
+  const Mapping m = map_network(t, enhanced);
+  const LayerMapping& lm = m.layers[0];
+  // Window of 6x6 outputs needs (6+2)^2 = 64 rows: exactly fits.
+  EXPECT_EQ(lm.groups.size(), 4u);  // 12/6 x 12/6 windows
+  EXPECT_LT(lm.mca_count, 144u);    // strictly fewer arrays than baseline
+  // Utilisation improves by the shared-window factor.
+  const Mapping base = map_network(t, cfg(64));
+  EXPECT_GT(lm.utilization, base.utilization);
+}
+
+TEST(MapperConv, EnhancedSharingNeverIncreasesMcas) {
+  for (const auto& b : snn::paper_benchmarks()) {
+    if (!b.topology.is_convolutional()) continue;
+    for (std::size_t n : {32u, 64u, 128u}) {
+      ResparcConfig enhanced = cfg(n);
+      enhanced.enhanced_input_sharing = true;
+      EXPECT_LE(map_network(b.topology, enhanced).total_mcas,
+                map_network(b.topology, cfg(n)).total_mcas)
+          << b.topology.name() << " N=" << n;
+    }
+  }
+}
+
+TEST(MapperConv, SlicedLargeFanIn) {
+  // 52-channel 3x3 conv: fan_in = 468 > 64 -> im2col slices, channels share.
+  Topology t("c", Shape3{52, 14, 14}, {LayerSpec::conv(64, 3, true)});
+  const Mapping m = map_network(t, cfg(64));
+  const LayerMapping& lm = m.layers[0];
+  EXPECT_EQ(lm.mux_degree, 8u);  // ceil(468/64)
+  EXPECT_EQ(lm.groups.size(), 14u);  // one per output row band
+  // All 64 output channels share rows -> high utilisation.
+  EXPECT_GT(lm.utilization, 0.8);
+}
+
+TEST(MapperConv, UtilizationPeaksAtIntermediateSize) {
+  // Fig. 12(c) mechanism: growing the MCA beyond the receptive-field span
+  // wastes crosspoints on sparse conv connectivity.
+  const auto b = snn::mnist_cnn();
+  const double u32 = map_network(b.topology, cfg(32)).utilization;
+  const double u64 = map_network(b.topology, cfg(64)).utilization;
+  const double u128 = map_network(b.topology, cfg(128)).utilization;
+  EXPECT_GT(u32, u128);  // small arrays utilise sparse connectivity better
+  EXPECT_GT(u64, u128);
+}
+
+TEST(MapperConv, CnnUtilizationBelowMlp) {
+  const double mlp =
+      map_network(snn::mnist_mlp().topology, cfg(64)).utilization;
+  const double cnn =
+      map_network(snn::mnist_cnn().topology, cfg(64)).utilization;
+  EXPECT_LT(cnn, mlp);
+}
+
+TEST(MapperConv, WindowSpanHelper) {
+  EXPECT_EQ(conv_window_input_span(1, 3), 3u);
+  EXPECT_EQ(conv_window_input_span(6, 3), 8u);
+  EXPECT_EQ(conv_window_input_span(4, 5), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Pooling layers
+// ---------------------------------------------------------------------------
+
+TEST(MapperPool, BlockDiagonalPacking) {
+  Topology t("p", Shape3{4, 8, 8}, {LayerSpec::avg_pool(2)});
+  const Mapping m = map_network(t, cfg(64));
+  const LayerMapping& lm = m.layers[0];
+  // 4 channels x 4 output rows of 4 outputs; 16 outputs/MCA capacity.
+  EXPECT_EQ(lm.groups.size(), 16u);
+  EXPECT_EQ(lm.mux_degree, 1u);
+  // Disjoint windows cannot share rows: utilisation is very low.
+  EXPECT_LT(lm.utilization, 0.10);
+}
+
+TEST(MapperPool, SlicesAreContiguous) {
+  Topology t("p", Shape3{2, 4, 4}, {LayerSpec::avg_pool(2)});
+  const Mapping m = map_network(t, cfg(32));
+  for (const auto& g : m.layers[0].groups) {
+    EXPECT_EQ(g.slice.kind, SliceKind::kContiguous);
+    EXPECT_EQ(g.slice.end - g.slice.begin, 2u * 4u);  // p rows of width 4
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-cutting properties
+// ---------------------------------------------------------------------------
+
+class MapperConservation
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(MapperConservation, SynapsesExactlyPreserved) {
+  // Property: the mapper must place every synapse exactly once, for every
+  // benchmark and every MCA size (the mapper itself throws on mismatch;
+  // this asserts the totals are consistent end to end).
+  const auto [mca, bench] = GetParam();
+  const auto all = snn::paper_benchmarks();
+  const auto& topo = all[static_cast<std::size_t>(bench)].topology;
+  const Mapping m = map_network(topo, cfg(mca));
+  std::size_t total = 0;
+  for (const auto& lm : m.layers) {
+    std::size_t layer_syn = 0;
+    for (const auto& g : lm.groups) layer_syn += g.synapses;
+    EXPECT_EQ(layer_syn, topo.layers()[lm.layer].synapses);
+    total += layer_syn;
+  }
+  EXPECT_EQ(total, topo.synapse_count());
+  EXPECT_GT(m.utilization, 0.0);
+  EXPECT_LE(m.utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllSizes, MapperConservation,
+    ::testing::Combine(::testing::Values(32u, 64u, 128u),
+                       ::testing::Values(0, 1, 2, 3, 4, 5)));
+
+TEST(Mapper, McaCountFallsWithSizeForMlp) {
+  // Larger crossbars absorb the same synapses in fewer arrays (the
+  // peripheral-energy argument of Fig. 12(a)).
+  const auto& topo = snn::mnist_mlp().topology;
+  const std::size_t n32 = map_network(topo, cfg(32)).total_mcas;
+  const std::size_t n64 = map_network(topo, cfg(64)).total_mcas;
+  const std::size_t n128 = map_network(topo, cfg(128)).total_mcas;
+  EXPECT_GT(n32, n64);
+  EXPECT_GT(n64, n128);
+}
+
+TEST(Mapper, McasPackIntoMpesAndNeurocells) {
+  const auto& topo = snn::mnist_mlp().topology;
+  const Mapping m = map_network(topo, cfg(64));
+  std::size_t mpes = 0;
+  for (const auto& lm : m.layers) {
+    EXPECT_EQ(lm.mpe_count, (lm.mca_count + 3) / 4);
+    mpes += lm.mpe_count;
+  }
+  EXPECT_EQ(m.total_mpes, mpes);
+  EXPECT_EQ(m.total_neurocells, (mpes + 15) / 16);
+}
+
+TEST(Mapper, LayerPlacementIsSequential) {
+  const auto& topo = snn::mnist_mlp().topology;
+  const Mapping m = map_network(topo, cfg(64));
+  std::size_t expected_start = 0;
+  for (const auto& lm : m.layers) {
+    EXPECT_EQ(lm.first_mpe, expected_start);
+    expected_start += lm.mpe_count;
+    EXPECT_LE(lm.first_nc, lm.last_nc);
+  }
+}
+
+TEST(Mapper, InputBoundaryAlwaysUsesBus) {
+  const Mapping m = map_network(snn::mnist_mlp().topology, cfg(64));
+  EXPECT_TRUE(m.boundary_uses_bus(0));
+}
+
+TEST(Mapper, SingleNcNetworkUsesSwitchesInternally) {
+  // A tiny MLP fits in one NeuroCell: internal boundaries avoid the bus.
+  Topology t("tiny", Shape3{1, 1, 64},
+             {LayerSpec::dense(64), LayerSpec::dense(10)});
+  const Mapping m = map_network(t, cfg(64));
+  EXPECT_EQ(m.total_neurocells, 1u);
+  EXPECT_FALSE(m.boundary_uses_bus(1));
+}
+
+TEST(Mapper, MultiNcBoundariesUseBus) {
+  const Mapping m = map_network(snn::mnist_mlp().topology, cfg(64));
+  ASSERT_GT(m.total_neurocells, 1u);
+  EXPECT_TRUE(m.boundary_uses_bus(1));
+}
+
+TEST(Mapper, UtilizationNeverExceedsOne) {
+  for (std::size_t n : {32u, 64u, 128u, 256u}) {
+    const Mapping m = map_network(snn::svhn_cnn().topology, cfg(n));
+    for (const auto& lm : m.layers) EXPECT_LE(lm.utilization, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace resparc::core

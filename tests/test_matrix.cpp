@@ -1,0 +1,98 @@
+// Unit tests for Matrix (common/matrix.hpp).
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace resparc {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ZeroInitialised) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0f);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 2, 1.5f);
+  EXPECT_EQ(m(1, 1), 1.5f);
+}
+
+TEST(Matrix, FlatConstructorChecksSize) {
+  EXPECT_THROW(Matrix(2, 3, std::vector<float>{1, 2}), ShapeError);
+  Matrix m(2, 2, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(m(0, 1), 2.0f);
+  EXPECT_EQ(m(1, 0), 3.0f);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  Matrix m(2, 3);
+  m(1, 2) = 9.0f;
+  EXPECT_EQ(m.flat()[5], 9.0f);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), ShapeError);
+  EXPECT_THROW(m.at(0, 2), ShapeError);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[0] = 4.0f;
+  EXPECT_EQ(m(1, 0), 4.0f);
+  EXPECT_EQ(row.size(), 3u);
+}
+
+TEST(Matrix, FillOverwrites) {
+  Matrix m(2, 2, 1.0f);
+  m.fill(7.0f);
+  EXPECT_EQ(m(0, 0), 7.0f);
+  EXPECT_EQ(m(1, 1), 7.0f);
+}
+
+TEST(Matrix, EqualityIsValueBased) {
+  Matrix a(2, 2, 1.0f), b(2, 2, 1.0f);
+  EXPECT_EQ(a, b);
+  b(0, 0) = 2.0f;
+  EXPECT_NE(a, b);
+}
+
+TEST(MatVec, ComputesInMajorProduct) {
+  // W is 3x2 (inputs x outputs): out = x^T W.
+  Matrix w(3, 2, std::vector<float>{1, 2, 3, 4, 5, 6});
+  std::vector<float> x{1.0f, 0.5f, 2.0f};
+  std::vector<float> out(2);
+  matvec_in_major(w, x, out);
+  EXPECT_FLOAT_EQ(out[0], 1.0f * 1 + 0.5f * 3 + 2.0f * 5);
+  EXPECT_FLOAT_EQ(out[1], 1.0f * 2 + 0.5f * 4 + 2.0f * 6);
+}
+
+TEST(MatVec, SkipsZeroInputs) {
+  Matrix w(2, 1, std::vector<float>{10, 20});
+  std::vector<float> x{0.0f, 1.0f};
+  std::vector<float> out(1);
+  matvec_in_major(w, x, out);
+  EXPECT_FLOAT_EQ(out[0], 20.0f);
+}
+
+TEST(MatVec, ThrowsOnMismatch) {
+  Matrix w(2, 2);
+  std::vector<float> x{1.0f};
+  std::vector<float> out(2);
+  EXPECT_THROW(matvec_in_major(w, x, out), ShapeError);
+}
+
+}  // namespace
+}  // namespace resparc

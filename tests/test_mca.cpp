@@ -1,0 +1,95 @@
+// Unit tests for the behavioral MCA unit (core/mca.hpp).
+#include "core/mca.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace resparc::core {
+namespace {
+
+tech::Memristor device() { return tech::Memristor{tech::pcm_params()}; }
+
+snn::SpikeVector spikes_of(std::initializer_list<int> bits, std::size_t n) {
+  snn::SpikeVector v(n);
+  for (int b : bits) v.set(static_cast<std::size_t>(b));
+  return v;
+}
+
+TEST(Mca, ProgramRejectsOversizedSlice) {
+  Mca mca(4, device());
+  EXPECT_THROW(mca.program(Matrix(5, 4), 0), ConfigError);
+  EXPECT_THROW(mca.program(Matrix(4, 5), 0), ConfigError);
+}
+
+TEST(Mca, AccumulateMatchesMatVec) {
+  Mca mca(4, device());
+  Matrix w(2, 3);
+  w(0, 0) = 1.0f;
+  w(0, 1) = -0.5f;
+  w(1, 2) = 0.25f;
+  mca.program(w, 0, 1.0f);
+  std::vector<float> acc(3, 0.0f);
+  const auto in = spikes_of({0, 1}, 8);
+  EXPECT_EQ(mca.accumulate(in, acc), 2u);
+  EXPECT_FLOAT_EQ(acc[0], 1.0f);
+  // -0.5 quantised at 4 bits scale 1: round(0.5*15)/15 = 8/15 ~ 0.5333.
+  EXPECT_NEAR(acc[1], -8.0f / 15.0f, 1e-6f);
+  EXPECT_NEAR(acc[2], 0.25f, 0.05f);
+}
+
+TEST(Mca, InputOffsetSelectsSlice) {
+  Mca mca(4, device());
+  Matrix w(2, 1, 1.0f);
+  mca.program(w, 10, 1.0f);  // rows cover layer inputs 10..11
+  std::vector<float> acc(1, 0.0f);
+  EXPECT_EQ(mca.accumulate(spikes_of({9}, 16), acc), 0u);
+  EXPECT_FLOAT_EQ(acc[0], 0.0f);
+  EXPECT_EQ(mca.accumulate(spikes_of({10, 11}, 16), acc), 2u);
+  EXPECT_FLOAT_EQ(acc[0], 2.0f);
+}
+
+TEST(Mca, SilentInputCostsNothing) {
+  Mca mca(4, device());
+  mca.program(Matrix(4, 4, 0.5f), 0);
+  std::vector<float> acc(4, 0.0f);
+  mca.accumulate(snn::SpikeVector(4), acc);
+  EXPECT_DOUBLE_EQ(mca.last_read_energy_pj(), 0.0);
+  EXPECT_EQ(mca.read_count(), 0u);
+}
+
+TEST(Mca, EnergyScalesWithActiveRowsAndCols) {
+  Mca mca(8, device());
+  mca.program(Matrix(8, 8, 0.5f), 0);
+  std::vector<float> acc(8, 0.0f);
+  mca.accumulate(spikes_of({0}, 8), acc);
+  const double e1 = mca.last_read_energy_pj();
+  mca.accumulate(spikes_of({0, 1, 2, 3}, 8), acc);
+  EXPECT_NEAR(mca.last_read_energy_pj(), 4.0 * e1, 1e-9);
+  EXPECT_EQ(mca.read_count(), 2u);
+}
+
+TEST(Mca, SharedScaleQuantisesConsistently) {
+  // Two slices of one layer programmed with the layer-wide scale must
+  // reproduce the same quantisation grid.
+  Mca a(4, device()), b(4, device());
+  Matrix w1(1, 1, std::vector<float>{0.3f});
+  Matrix w2(1, 1, std::vector<float>{0.3f});
+  a.program(w1, 0, 1.0f);
+  b.program(w2, 0, 1.0f);
+  std::vector<float> acc_a(1, 0.0f), acc_b(1, 0.0f);
+  a.accumulate(spikes_of({0}, 4), acc_a);
+  b.accumulate(spikes_of({0}, 4), acc_b);
+  EXPECT_FLOAT_EQ(acc_a[0], acc_b[0]);
+}
+
+TEST(Mca, TracksUsage) {
+  Mca mca(16, device());
+  mca.program(Matrix(10, 12), 3);
+  EXPECT_EQ(mca.rows_used(), 10u);
+  EXPECT_EQ(mca.cols_used(), 12u);
+  EXPECT_EQ(mca.input_offset(), 3u);
+}
+
+}  // namespace
+}  // namespace resparc::core

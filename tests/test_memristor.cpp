@@ -1,0 +1,123 @@
+// Unit tests for the memristive device model (tech/memristor.hpp).
+#include "tech/memristor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace resparc::tech {
+namespace {
+
+TEST(Memristor, PaperParameterRange) {
+  // Section 4.2: 20 kOhm - 200 kOhm, 16 levels (4 bits), Vdd/2 read.
+  const Memristor m{pcm_params()};
+  EXPECT_DOUBLE_EQ(m.g_max(), 1.0 / 20e3);
+  EXPECT_DOUBLE_EQ(m.g_min(), 1.0 / 200e3);
+  EXPECT_EQ(m.levels(), 16);
+  EXPECT_DOUBLE_EQ(m.params().read_voltage_v, 0.5);
+}
+
+TEST(Memristor, ValidationRejectsBadRanges) {
+  MemristorParams p = pcm_params();
+  p.r_on_ohm = -1.0;
+  EXPECT_THROW(Memristor{p}, ConfigError);
+  p = pcm_params();
+  p.r_off_ohm = p.r_on_ohm;  // must exceed R_on
+  EXPECT_THROW(Memristor{p}, ConfigError);
+  p = pcm_params();
+  p.bits = 0;
+  EXPECT_THROW(Memristor{p}, ConfigError);
+  p = pcm_params();
+  p.bits = 9;
+  EXPECT_THROW(Memristor{p}, ConfigError);
+}
+
+TEST(Memristor, QuantizeEndpointsExact) {
+  const Memristor m{pcm_params()};
+  EXPECT_DOUBLE_EQ(m.quantize_magnitude(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.quantize_magnitude(1.0), 1.0);
+}
+
+TEST(Memristor, QuantizeClampsOutOfRange) {
+  const Memristor m{pcm_params()};
+  EXPECT_DOUBLE_EQ(m.quantize_magnitude(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(m.quantize_magnitude(1.5), 1.0);
+}
+
+TEST(Memristor, QuantizeStepCount) {
+  // 4 bits -> 16 levels -> 15 steps of 1/15.
+  const Memristor m{pcm_params()};
+  const double step = 1.0 / 15.0;
+  EXPECT_NEAR(m.quantize_magnitude(step * 0.49), 0.0, 1e-12);
+  EXPECT_NEAR(m.quantize_magnitude(step * 0.51), step, 1e-12);
+}
+
+TEST(Memristor, QuantizeIsIdempotent) {
+  const Memristor m{pcm_params()};
+  for (double v : {0.1, 0.33, 0.77, 0.99}) {
+    const double q = m.quantize_magnitude(v);
+    EXPECT_DOUBLE_EQ(m.quantize_magnitude(q), q);
+  }
+}
+
+TEST(Memristor, ConductanceMonotoneInMagnitude) {
+  const Memristor m{pcm_params()};
+  double prev = -1.0;
+  for (int i = 0; i <= 15; ++i) {
+    const double g = m.conductance(i / 15.0);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(Memristor, ConductanceBounds) {
+  const Memristor m{pcm_params()};
+  EXPECT_DOUBLE_EQ(m.conductance(0.0), m.g_min());
+  EXPECT_DOUBLE_EQ(m.conductance(1.0), m.g_max());
+}
+
+TEST(Memristor, CellReadEnergyMatchesFormula) {
+  const Memristor m{pcm_params()};
+  // E = V^2 G t = 0.25 * 50e-6 S * 1 ns = 12.5 fJ = 0.0125 pJ at G_on.
+  EXPECT_NEAR(m.cell_read_energy_pj(m.g_max()), 0.0125, 1e-9);
+}
+
+TEST(Memristor, MeanCellEnergyBetweenExtremes) {
+  const Memristor m{pcm_params()};
+  const double mean = m.mean_cell_read_energy_pj();
+  EXPECT_GT(mean, m.cell_read_energy_pj(m.g_min()));
+  EXPECT_LT(mean, m.cell_read_energy_pj(m.g_max()));
+}
+
+TEST(Memristor, AgSiLowerReadEnergy) {
+  // Ag-Si devices are more resistive -> lower read energy than PCM.
+  const Memristor pcm{pcm_params()};
+  const Memristor agsi{agsi_params()};
+  EXPECT_LT(agsi.mean_cell_read_energy_pj(), pcm.mean_cell_read_energy_pj());
+}
+
+class MemristorBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemristorBits, LevelsArePowerOfTwo) {
+  MemristorParams p = pcm_params();
+  p.bits = GetParam();
+  const Memristor m{p};
+  EXPECT_EQ(m.levels(), 1 << GetParam());
+  // Quantising a fine ramp yields exactly `levels` distinct values.
+  int distinct = 1;
+  double prev = m.quantize_magnitude(0.0);
+  for (int i = 1; i <= 4096; ++i) {
+    const double q = m.quantize_magnitude(i / 4096.0);
+    if (q != prev) {
+      ++distinct;
+      prev = q;
+    }
+  }
+  EXPECT_EQ(distinct, m.levels());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, MemristorBits,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace resparc::tech

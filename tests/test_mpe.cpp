@@ -1,0 +1,113 @@
+// Unit tests for the behavioral mPE (core/mpe.hpp).
+#include "core/mpe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace resparc::core {
+namespace {
+
+tech::Memristor device() { return tech::Memristor{tech::pcm_params()}; }
+
+TEST(Mpe, CapacityEnforced) {
+  Mpe mpe(8, 2, device());
+  mpe.add_mca(Matrix(8, 8), 0);
+  mpe.add_mca(Matrix(8, 8), 8);
+  EXPECT_THROW(mpe.add_mca(Matrix(8, 8), 16), ConfigError);
+  EXPECT_EQ(mpe.mca_count(), 2u);
+}
+
+TEST(Mpe, HostNeuronsBounds) {
+  Mpe mpe(8, 4, device());
+  EXPECT_THROW(mpe.host_neurons(0, {}), ConfigError);
+  EXPECT_THROW(mpe.host_neurons(9, {}), ConfigError);
+  mpe.host_neurons(8, {});
+  EXPECT_TRUE(mpe.hosts_neurons());
+  EXPECT_EQ(mpe.neuron_count(), 8u);
+}
+
+TEST(Mpe, HelperHasNoNeurons) {
+  Mpe mpe(8, 4, device());
+  EXPECT_FALSE(mpe.hosts_neurons());
+  EXPECT_THROW(mpe.fire(), ConfigError);
+}
+
+TEST(Mpe, LocalIntegrationFiresNeuron) {
+  Mpe mpe(4, 4, device());
+  Matrix w(1, 1, std::vector<float>{1.0f});
+  mpe.add_mca(w, 0, 1.0f);
+  mpe.host_neurons(1, {.v_threshold = 1.0});
+  snn::SpikeVector in(1);
+  in.set(0);
+  mpe.begin_step();
+  mpe.integrate_local(in);
+  const auto spikes = mpe.fire();
+  EXPECT_TRUE(spikes.get(0));
+  EXPECT_EQ(mpe.counters().mca_reads, 1u);
+  EXPECT_EQ(mpe.counters().neuron_fires, 1u);
+}
+
+TEST(Mpe, SilentInputSkipsRead) {
+  Mpe mpe(4, 4, device());
+  mpe.add_mca(Matrix(4, 4, 1.0f), 0);
+  mpe.host_neurons(4, {.v_threshold = 1.0});
+  mpe.begin_step();
+  mpe.integrate_local(snn::SpikeVector(4));
+  EXPECT_EQ(mpe.counters().mca_skips, 1u);
+  EXPECT_EQ(mpe.counters().mca_reads, 0u);
+  EXPECT_DOUBLE_EQ(mpe.crossbar_energy_pj(), 0.0);
+}
+
+TEST(Mpe, ExternalCurrentsCombine) {
+  // Fig. 4's C_ext path: external partial currents add to local ones.
+  Mpe mpe(4, 4, device());
+  Matrix w(1, 1, std::vector<float>{0.5f});
+  mpe.add_mca(w, 0, 1.0f);
+  mpe.host_neurons(1, {.v_threshold = 1.0});
+  snn::SpikeVector in(1);
+  in.set(0);
+  mpe.begin_step();
+  mpe.integrate_local(in);             // +8/15 (0.5 quantised at 4 bits)
+  std::vector<float> ext{0.6f};        // external partial
+  mpe.integrate_external(ext);         // total > 1 -> fires
+  EXPECT_TRUE(mpe.fire().get(0));
+}
+
+TEST(Mpe, BeginStepClearsAccumulator) {
+  Mpe mpe(4, 4, device());
+  Matrix w(1, 1, std::vector<float>{1.0f});
+  mpe.add_mca(w, 0, 1.0f);
+  snn::SpikeVector in(1);
+  in.set(0);
+  mpe.begin_step();
+  mpe.integrate_local(in);
+  EXPECT_GT(mpe.currents()[0], 0.0f);
+  mpe.begin_step();
+  EXPECT_FLOAT_EQ(mpe.currents()[0], 0.0f);
+}
+
+TEST(Mpe, ResetClearsCountersAndMembranes) {
+  Mpe mpe(4, 4, device());
+  Matrix w(1, 1, std::vector<float>{1.0f});
+  mpe.add_mca(w, 0, 1.0f);
+  mpe.host_neurons(1, {.v_threshold = 10.0});
+  snn::SpikeVector in(1);
+  in.set(0);
+  mpe.begin_step();
+  mpe.integrate_local(in);
+  mpe.fire();
+  mpe.reset();
+  EXPECT_EQ(mpe.counters().mca_reads, 0u);
+  EXPECT_EQ(mpe.counters().neuron_fires, 0u);
+}
+
+TEST(Mpe, CcuSendCounts) {
+  Mpe mpe(4, 4, device());
+  mpe.send_currents();
+  mpe.send_currents();
+  EXPECT_EQ(mpe.counters().ccu_out, 2u);
+}
+
+}  // namespace
+}  // namespace resparc::core

@@ -1,0 +1,144 @@
+// Unit tests for the behavioral NeuroCell (core/neurocell.hpp), including
+// the bit-exactness check against the functional simulator — the anchor
+// that validates the whole analytic path.
+#include "core/neurocell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "snn/quantize.hpp"
+#include "snn/simulator.hpp"
+
+namespace resparc::core {
+namespace {
+
+using snn::LayerSpec;
+using snn::Topology;
+
+snn::Network random_mlp(std::size_t in, std::size_t hidden, std::size_t out,
+                        std::uint64_t seed) {
+  Topology topo("nc-mlp", Shape3{1, 1, in},
+                {LayerSpec::dense(hidden), LayerSpec::dense(out)});
+  snn::Network net(topo);
+  Rng rng(seed);
+  net.init_random(rng, 1.5f);
+  net.layer(0).neuron.v_threshold = 0.4;
+  net.layer(1).neuron.v_threshold = 0.4;
+  return net;
+}
+
+TEST(NeuroCell, LoadRejectsConvNetworks) {
+  Topology topo("cnn", Shape3{1, 8, 8},
+                {LayerSpec::conv(4, 3), LayerSpec::dense(10)});
+  snn::Network net(topo);
+  NeuroCell nc(default_config());
+  EXPECT_THROW(nc.load(net), ConfigError);
+}
+
+TEST(NeuroCell, LoadRejectsOversizedNetworks) {
+  // 16 mPEs x 4 MCAs-64 = 64 MCAs capacity; this MLP needs far more.
+  snn::Network net = random_mlp(2048, 2048, 10, 1);
+  NeuroCell nc(default_config());
+  EXPECT_THROW(nc.load(net), MappingError);
+}
+
+TEST(NeuroCell, StepWithoutLoadThrows) {
+  NeuroCell nc(default_config());
+  EXPECT_THROW(nc.step(snn::SpikeVector(4)), ConfigError);
+}
+
+TEST(NeuroCell, MatchesFunctionalSimulatorBitExactly) {
+  // The key equivalence: a quantised network run on the functional
+  // simulator must produce the same spikes, step for step, as the
+  // behavioral NeuroCell running the unquantised network (the NeuroCell
+  // quantises at program time with the same per-layer scale).
+  snn::Network net = random_mlp(96, 48, 10, 2);
+  snn::Network qnet = net;
+  snn::quantize_network(qnet, 4);  // matches the 4-bit PCM device
+
+  NeuroCell nc(default_config());
+  nc.load(net);
+
+  // Functional reference: drive qnet layer populations directly.
+  snn::SimConfig cfg;
+  cfg.timesteps = 12;
+  cfg.encoder.poisson = false;
+  snn::Simulator sim(qnet, cfg);
+  Rng rng(3);
+  std::vector<float> img(96);
+  for (auto& p : img) p = static_cast<float>(rng.uniform(0.0, 1.0));
+  const snn::SimResult ref = sim.run(img, rng);
+
+  nc.reset();
+  for (std::size_t t = 0; t < cfg.timesteps; ++t) {
+    const snn::SpikeVector& in = ref.trace.layers[0][t];
+    const snn::SpikeVector out = nc.step(in);
+    const snn::SpikeVector& expect = ref.trace.layers[2][t];
+    ASSERT_EQ(out.size(), expect.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out.get(i), expect.get(i)) << "t=" << t << " neuron=" << i;
+  }
+}
+
+TEST(NeuroCell, FanInBeyondFourMcasUsesCcu) {
+  // fan-in 96 on MCA-32 -> 3 slices per column group; with 4 MCAs/mPE one
+  // mPE still suffices.  fan-in 256 on MCA-32 -> 8 slices -> helpers+CCU.
+  ResparcConfig cfg = config_with_mca(32);
+  snn::Network net = random_mlp(256, 16, 10, 4);
+  NeuroCell nc(cfg);
+  nc.load(net);
+  snn::SpikeVector in(256);
+  for (std::size_t i = 0; i < 256; i += 3) in.set(i);
+  nc.step(in);
+  EXPECT_GT(nc.counters().ccu_transfers, 0u);
+}
+
+TEST(NeuroCell, ZeroInputSkipsEverything) {
+  snn::Network net = random_mlp(64, 32, 10, 5);
+  NeuroCell nc(default_config());
+  nc.load(net);
+  nc.step(snn::SpikeVector(64));
+  const NeuroCellCounters c = nc.counters();
+  EXPECT_EQ(c.mca_reads, 0u);
+  EXPECT_GT(c.mca_skips, 0u);
+  EXPECT_EQ(c.neuron_fires, 0u);
+  // All output flits are zero -> all dropped by the switch zero-check.
+  EXPECT_EQ(c.packets_dropped, c.packets_sent);
+}
+
+TEST(NeuroCell, EventDrivenOffForwardsZeroFlits) {
+  ResparcConfig cfg = default_config();
+  cfg.event_driven = false;
+  snn::Network net = random_mlp(64, 32, 10, 6);
+  NeuroCell nc(cfg);
+  nc.load(net);
+  nc.step(snn::SpikeVector(64));
+  EXPECT_EQ(nc.counters().packets_dropped, 0u);
+  EXPECT_GT(nc.counters().packets_sent, 0u);
+}
+
+TEST(NeuroCell, MpeCountMatchesAnalyticMapping) {
+  snn::Network net = random_mlp(128, 64, 10, 7);
+  NeuroCell nc(default_config());
+  nc.load(net);
+  // Layer 1: 2 slices x 1 col group -> 1 mPE; layer 2: 1 slice -> 1 mPE.
+  EXPECT_EQ(nc.mpes_used(), 2u);
+}
+
+TEST(NeuroCell, ResetAllowsRepeatRuns) {
+  snn::Network net = random_mlp(32, 16, 10, 8);
+  NeuroCell nc(default_config());
+  nc.load(net);
+  snn::SpikeVector in(32);
+  in.set(0);
+  in.set(5);
+  const snn::SpikeVector out1 = nc.step(in);
+  nc.reset();
+  const snn::SpikeVector out2 = nc.step(in);
+  for (std::size_t i = 0; i < out1.size(); ++i)
+    EXPECT_EQ(out1.get(i), out2.get(i));
+}
+
+}  // namespace
+}  // namespace resparc::core

@@ -1,0 +1,107 @@
+// Unit tests for the IF neuron population (snn/neuron.hpp).
+#include "snn/neuron.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace resparc::snn {
+namespace {
+
+TEST(IfNeuron, AccumulatesBelowThreshold) {
+  IfPopulation pop(1, {.v_threshold = 1.0});
+  std::vector<float> current{0.4f};
+  std::vector<std::uint8_t> spikes(1);
+  EXPECT_EQ(pop.step(current, spikes), 0u);
+  EXPECT_EQ(spikes[0], 0);
+  EXPECT_FLOAT_EQ(pop.membrane(0), 0.4f);
+}
+
+TEST(IfNeuron, FiresAtThreshold) {
+  IfPopulation pop(1, {.v_threshold = 1.0});
+  std::vector<float> current{1.0f};
+  std::vector<std::uint8_t> spikes(1);
+  EXPECT_EQ(pop.step(current, spikes), 1u);
+  EXPECT_EQ(spikes[0], 1);
+}
+
+TEST(IfNeuron, SubtractiveResetKeepsRemainder) {
+  IfPopulation pop(1, {.v_threshold = 1.0, .subtractive_reset = true});
+  std::vector<float> current{1.3f};
+  std::vector<std::uint8_t> spikes(1);
+  pop.step(current, spikes);
+  EXPECT_NEAR(pop.membrane(0), 0.3f, 1e-6f);
+}
+
+TEST(IfNeuron, HardResetDiscardsRemainder) {
+  IfPopulation pop(1, {.v_threshold = 1.0, .subtractive_reset = false});
+  std::vector<float> current{1.7f};
+  std::vector<std::uint8_t> spikes(1);
+  pop.step(current, spikes);
+  EXPECT_FLOAT_EQ(pop.membrane(0), 0.0f);
+}
+
+TEST(IfNeuron, RateProportionalToDrive) {
+  // Subtractive reset: long-run rate = drive / threshold.
+  IfPopulation pop(1, {.v_threshold = 1.0});
+  std::vector<float> current{0.25f};
+  std::vector<std::uint8_t> spikes(1);
+  int fired = 0;
+  for (int t = 0; t < 400; ++t) {
+    pop.step(current, spikes);
+    fired += spikes[0];
+  }
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(IfNeuron, LeakReducesMembrane) {
+  IfPopulation pop(1, {.v_threshold = 10.0, .leak_per_step = 0.1});
+  std::vector<float> current{0.3f};
+  std::vector<std::uint8_t> spikes(1);
+  pop.step(current, spikes);
+  EXPECT_NEAR(pop.membrane(0), 0.2f, 1e-6f);
+  // Leak cannot take the membrane negative.
+  std::vector<float> none{0.0f};
+  for (int t = 0; t < 10; ++t) pop.step(none, spikes);
+  EXPECT_GE(pop.membrane(0), 0.0f);
+}
+
+TEST(IfNeuron, ResetClearsState) {
+  IfPopulation pop(2, {.v_threshold = 5.0});
+  std::vector<float> current{1.0f, 2.0f};
+  std::vector<std::uint8_t> spikes(2);
+  pop.step(current, spikes);
+  pop.reset();
+  EXPECT_FLOAT_EQ(pop.membrane(0), 0.0f);
+  EXPECT_FLOAT_EQ(pop.membrane(1), 0.0f);
+}
+
+TEST(IfNeuron, IndependentNeurons) {
+  IfPopulation pop(3, {.v_threshold = 1.0});
+  std::vector<float> current{1.2f, 0.2f, 0.0f};
+  std::vector<std::uint8_t> spikes(3);
+  EXPECT_EQ(pop.step(current, spikes), 1u);
+  EXPECT_EQ(spikes[0], 1);
+  EXPECT_EQ(spikes[1], 0);
+  EXPECT_EQ(spikes[2], 0);
+}
+
+TEST(IfNeuron, ShapeMismatchThrows) {
+  IfPopulation pop(2, {});
+  std::vector<float> current{1.0f};
+  std::vector<std::uint8_t> spikes(2);
+  EXPECT_THROW(pop.step(current, spikes), ShapeError);
+}
+
+TEST(IfNeuron, NegativeDriveNeverFires) {
+  IfPopulation pop(1, {.v_threshold = 0.5});
+  std::vector<float> current{-0.3f};
+  std::vector<std::uint8_t> spikes(1);
+  for (int t = 0; t < 20; ++t) EXPECT_EQ(pop.step(current, spikes), 0u);
+  EXPECT_LT(pop.membrane(0), 0.0f);
+}
+
+}  // namespace
+}  // namespace resparc::snn

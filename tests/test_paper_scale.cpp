@@ -1,0 +1,107 @@
+// Paper-scale mapping assertions: static facts of mapping all six Fig. 10
+// benchmarks onto the fabric at every evaluated MCA size.  These run the
+// mapper only (no traces), so they are fast despite the network sizes.
+#include <gtest/gtest.h>
+
+#include "core/mapper.hpp"
+#include "snn/benchmarks.hpp"
+
+namespace resparc::core {
+namespace {
+
+class PaperScaleMapping
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {
+ protected:
+  static const snn::BenchmarkSpec& spec(int index) {
+    static const auto all = snn::paper_benchmarks();
+    return all[static_cast<std::size_t>(index)];
+  }
+};
+
+TEST_P(PaperScaleMapping, CapacityAccounting) {
+  const auto [mca, bench] = GetParam();
+  const auto& b = spec(bench);
+  const Mapping m = map_network(b.topology, config_with_mca(mca));
+
+  // Every layer's arrays fit its mPE allocation with 4 MCAs per mPE.
+  for (const auto& lm : m.layers) {
+    EXPECT_GE(lm.mpe_count * 4, lm.mca_count);
+    EXPECT_LT((lm.mpe_count - 1) * 4, lm.mca_count);
+  }
+  // The chip can never hold more synapses than crosspoints.
+  EXPECT_LE(b.topology.synapse_count(), m.total_mcas * mca * mca);
+  // NeuroCell packing: 16 mPEs per cell.
+  EXPECT_GE(m.total_neurocells * 16, m.total_mpes);
+}
+
+TEST_P(PaperScaleMapping, MuxDegreeMatchesFanIn) {
+  const auto [mca, bench] = GetParam();
+  const auto& b = spec(bench);
+  const Mapping m = map_network(b.topology, config_with_mca(mca));
+  for (std::size_t l = 0; l < m.layers.size(); ++l) {
+    const auto& li = b.topology.layers()[l];
+    const auto& lm = m.layers[l];
+    if (li.spec.kind == snn::LayerKind::kDense || li.fan_in > mca) {
+      EXPECT_EQ(lm.mux_degree, (li.fan_in + mca - 1) / mca)
+          << b.topology.name() << " layer " << l;
+    } else {
+      EXPECT_EQ(lm.mux_degree, 1u);
+    }
+    // Serial integration cycles: ceil(degree / 4 concurrent currents).
+    EXPECT_EQ(lm.mux_cycles, (lm.mux_degree + 3) / 4);
+  }
+}
+
+TEST_P(PaperScaleMapping, EveryGroupWithinArrayBounds) {
+  const auto [mca, bench] = GetParam();
+  const auto& b = spec(bench);
+  const Mapping m = map_network(b.topology, config_with_mca(mca));
+  for (const auto& lm : m.layers) {
+    for (const auto& g : lm.groups) {
+      EXPECT_GT(g.mca_count, 0u);
+      EXPECT_LE(g.rows_used, mca);
+      EXPECT_LE(g.cols_used, g.mca_count * mca);
+      EXPECT_LE(g.synapses, g.mca_count * mca * mca);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllSizes, PaperScaleMapping,
+    ::testing::Combine(::testing::Values(32u, 64u, 128u),
+                       ::testing::Values(0, 1, 2, 3, 4, 5)));
+
+TEST(PaperScaleMapping, MlpChipFitsExpectedBudget) {
+  // MNIST MLP at MCA-64: 13x13 + 13x13 + 13x1 arrays (dense tile grids).
+  const Mapping m =
+      map_network(snn::mnist_mlp().topology, config_with_mca(64));
+  EXPECT_EQ(m.total_mcas, 13u * 13u + 13u * 13u + 13u);
+  EXPECT_EQ(m.total_neurocells, 6u);  // 351 MCAs -> 88 mPEs -> 6 NCs
+}
+
+TEST(PaperScaleMapping, CnnNeedsFarMoreArraysPerSynapse) {
+  // The utilisation gap between MLPs and CNNs at paper scale (the root of
+  // the Fig. 11 gain difference).
+  const Mapping mlp =
+      map_network(snn::mnist_mlp().topology, config_with_mca(64));
+  const Mapping cnn =
+      map_network(snn::mnist_cnn().topology, config_with_mca(64));
+  const double mlp_cost = static_cast<double>(mlp.total_mcas) /
+                          static_cast<double>(snn::mnist_mlp().topology.synapse_count());
+  const double cnn_cost = static_cast<double>(cnn.total_mcas) /
+                          static_cast<double>(snn::mnist_cnn().topology.synapse_count());
+  EXPECT_GT(cnn_cost, 1.5 * mlp_cost);
+}
+
+TEST(PaperScaleMapping, EnhancedSharingShrinksCnnFootprint) {
+  ResparcConfig enhanced = config_with_mca(64);
+  enhanced.enhanced_input_sharing = true;
+  const Mapping base =
+      map_network(snn::mnist_cnn().topology, config_with_mca(64));
+  const Mapping shared = map_network(snn::mnist_cnn().topology, enhanced);
+  EXPECT_LT(shared.total_mcas, base.total_mcas);
+  EXPECT_GE(shared.utilization, base.utilization);
+}
+
+}  // namespace
+}  // namespace resparc::core

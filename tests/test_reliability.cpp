@@ -1,0 +1,133 @@
+// Reliability study tests: the device non-idealities that motivate the
+// paper's "small crossbars are the reliable ones" premise (section 1),
+// exercised end-to-end through the electrical crossbar model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/techaware.hpp"
+#include "tech/crossbar_model.hpp"
+
+namespace resparc::tech {
+namespace {
+
+Memristor ideal_device() {
+  MemristorParams p = pcm_params();
+  p.sneak_leak_fraction = 0.0;
+  return Memristor{p};
+}
+
+/// Mean absolute current error between a noisy and an ideal array over
+/// random binary inputs.
+double mean_current_error(std::size_t n, const CrossbarNonIdealities& ni,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix mags(n, n);
+  for (float& m : mags.flat()) m = static_cast<float>(rng.uniform(0.0, 1.0));
+
+  CrossbarModel clean(n, n, ideal_device());
+  clean.program(mags);
+  CrossbarModel noisy(n, n, ideal_device());
+  noisy.program(mags, ni, &rng);
+
+  std::vector<std::uint8_t> spikes(n);
+  std::vector<double> ic(n), in(n);
+  double err = 0.0;
+  int samples = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    for (auto& s : spikes) s = rng.bernoulli(0.2);
+    clean.read_currents(spikes, ic);
+    noisy.read_currents(spikes, in);
+    for (std::size_t c = 0; c < n; ++c) {
+      err += std::abs(ic[c] - in[c]);
+      ++samples;
+    }
+  }
+  return err / samples;
+}
+
+TEST(Reliability, StuckDevicesDistortCurrents) {
+  CrossbarNonIdealities ni;
+  ni.stuck_off_probability = 0.05;
+  EXPECT_GT(mean_current_error(32, ni, 1), 0.0);
+}
+
+TEST(Reliability, ErrorGrowsWithDefectRate) {
+  double prev = 0.0;
+  for (double p : {0.01, 0.05, 0.2}) {
+    CrossbarNonIdealities ni;
+    ni.stuck_off_probability = p;
+    const double err = mean_current_error(32, ni, 2);
+    EXPECT_GT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(Reliability, ProgrammingNoiseErrorGrowsWithSigma) {
+  double prev = -1.0;
+  for (double sigma : {0.01, 0.05, 0.2}) {
+    CrossbarNonIdealities ni;
+    ni.programming_sigma = sigma;
+    const double err = mean_current_error(32, ni, 3);
+    EXPECT_GT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(Reliability, IrDropErrorGrowsWithArraySize) {
+  // The *relative* signal loss from wire resistance grows with the array
+  // — the quantitative form of "large crossbars are infeasible".
+  CrossbarNonIdealities ni;
+  ni.wire_resistance_ohm = 10.0;
+  double prev_att = 1.0;
+  for (std::size_t n : {16u, 64u, 256u}) {
+    CrossbarModel xbar(n, n, ideal_device());
+    Matrix mags(n, n, 1.0f);
+    xbar.program(mags, ni);
+    const double att = xbar.worst_case_ir_attenuation();
+    EXPECT_LT(att, prev_att);
+    prev_att = att;
+  }
+  EXPECT_LT(prev_att, 0.8);  // 256x256 at 10 ohm/segment is badly degraded
+}
+
+TEST(Reliability, PermissibleSizesPrefixProperty) {
+  // If size N is rejected, every larger size must also be rejected.
+  const std::vector<std::size_t> sizes{16, 32, 64, 128, 256, 512};
+  for (double wire : {5.0, 15.0, 40.0}) {
+    const auto ok =
+        core::permissible_sizes(sizes, default_technology(), wire, 0.8);
+    // `ok` must be a prefix of `sizes`.
+    ASSERT_LE(ok.size(), sizes.size());
+    for (std::size_t i = 0; i < ok.size(); ++i) EXPECT_EQ(ok[i], sizes[i]);
+  }
+}
+
+TEST(Reliability, AgSiToleratesMoreWireThanPcm) {
+  // Higher device resistance makes the wire drop relatively smaller, so
+  // Ag-Si sustains larger arrays under the same wiring (the behaviour the
+  // technology_explorer example demonstrates).
+  const std::vector<std::size_t> sizes{32, 64, 128, 256, 512};
+  const auto pcm =
+      core::permissible_sizes(sizes, pcm_technology(), 15.0, 0.75);
+  const auto agsi =
+      core::permissible_sizes(sizes, agsi_technology(), 15.0, 0.75);
+  EXPECT_GE(agsi.size(), pcm.size());
+  EXPECT_LT(pcm.size(), sizes.size());  // the constraint actually binds
+}
+
+TEST(Reliability, SneakFractionRaisesAnalyticEnergy) {
+  MemristorParams leaky = pcm_params();
+  leaky.sneak_leak_fraction = 0.05;
+  CrossbarModel with(64, 64, Memristor{leaky});
+  CrossbarModel without(64, 64, ideal_device());
+  Matrix mags(64, 64, 0.5f);
+  with.program(mags);
+  without.program(mags);
+  EXPECT_GT(with.mean_read_energy_pj(6.0, 64.0),
+            without.mean_read_energy_pj(6.0, 64.0));
+}
+
+}  // namespace
+}  // namespace resparc::tech

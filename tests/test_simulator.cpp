@@ -1,0 +1,201 @@
+// Unit tests for the event-driven functional simulator (snn/simulator.hpp).
+#include "snn/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "snn/quantize.hpp"
+
+namespace resparc::snn {
+namespace {
+
+/// A 2-input, 2-output single-layer net with hand weights.
+Network tiny_dense() {
+  Topology topo("tiny", Shape3{1, 1, 2}, {LayerSpec::dense(2)});
+  Network net(topo);
+  auto& w = net.layer(0).weights;
+  w(0, 0) = 1.0f;  // input 0 -> output 0
+  w(1, 1) = 1.0f;  // input 1 -> output 1
+  net.layer(0).neuron.v_threshold = 1.0;
+  return net;
+}
+
+SimConfig det_config(std::size_t T) {
+  SimConfig cfg;
+  cfg.timesteps = T;
+  cfg.encoder.poisson = false;
+  return cfg;
+}
+
+TEST(Simulator, IdentityLayerPassesSpikesThrough) {
+  Network net = tiny_dense();
+  Simulator sim(net, det_config(8));
+  Rng rng(1);
+  std::vector<float> img{1.0f, 0.0f};
+  const SimResult r = sim.run(img, rng);
+  // Input 0 spikes every step; weight 1 >= vth 1 -> output 0 fires each step.
+  EXPECT_EQ(r.output_spike_counts[0], 8u);
+  EXPECT_EQ(r.output_spike_counts[1], 0u);
+  EXPECT_EQ(r.predicted_class, 0u);
+}
+
+TEST(Simulator, TraceShapeMatchesRun) {
+  Network net = tiny_dense();
+  Simulator sim(net, det_config(5));
+  Rng rng(2);
+  std::vector<float> img{1.0f, 1.0f};
+  const SimResult r = sim.run(img, rng);
+  ASSERT_EQ(r.trace.layer_count(), 2u);  // input + 1 layer
+  EXPECT_EQ(r.trace.timesteps(), 5u);
+  EXPECT_EQ(r.trace.layers[0][0].size(), 2u);
+  EXPECT_EQ(r.trace.layers[1][0].size(), 2u);
+}
+
+TEST(Simulator, RecordTraceOffLeavesTraceEmpty) {
+  Network net = tiny_dense();
+  SimConfig cfg = det_config(5);
+  cfg.record_trace = false;
+  Simulator sim(net, cfg);
+  Rng rng(3);
+  std::vector<float> img{1.0f, 0.0f};
+  const SimResult r = sim.run(img, rng);
+  EXPECT_EQ(r.trace.layer_count(), 0u);
+  EXPECT_EQ(r.output_spike_counts[0], 5u);  // classification still works
+}
+
+TEST(Simulator, HalfWeightHalvesRate) {
+  Topology topo("t", Shape3{1, 1, 1}, {LayerSpec::dense(1)});
+  Network net(topo);
+  net.layer(0).weights(0, 0) = 0.5f;
+  net.layer(0).neuron.v_threshold = 1.0;
+  Simulator sim(net, det_config(40));
+  Rng rng(4);
+  std::vector<float> img{1.0f};
+  const SimResult r = sim.run(img, rng);
+  EXPECT_EQ(r.output_spike_counts[0], 20u);  // fires every other step
+}
+
+TEST(Simulator, InputSizeChecked) {
+  Network net = tiny_dense();
+  Simulator sim(net, det_config(4));
+  Rng rng(5);
+  std::vector<float> img{1.0f};  // wrong size
+  EXPECT_THROW(sim.run(img, rng), ConfigError);
+}
+
+TEST(Simulator, ConvLayerMatchesManualConvolution) {
+  // 1x3x3 input, one 3x3 'same' filter of all ones, threshold high enough
+  // to never fire: membrane after 1 step = conv(input).
+  Topology topo("c", Shape3{1, 3, 3}, {LayerSpec::conv(1, 3, true)});
+  Network net(topo);
+  for (std::size_t r = 0; r < 9; ++r) net.layer(0).weights(r, 0) = 1.0f;
+  net.layer(0).neuron.v_threshold = 100.0;
+  Simulator sim(net, det_config(1));
+  Rng rng(6);
+  // Single bright pixel at the centre -> after one step the centre output
+  // receives exactly one contribution; all 9 outputs receive exactly 1.
+  std::vector<float> img(9, 0.0f);
+  img[4] = 1.0f;
+  const SimResult r = sim.run(img, rng);
+  EXPECT_EQ(r.trace.layers[1][0].count(), 0u);  // no fires (high vth)
+  EXPECT_EQ(r.output_spike_counts[0] + r.output_spike_counts[4], 0u);
+}
+
+TEST(Simulator, ConvSpikesWhenDriveSufficient) {
+  Topology topo("c", Shape3{1, 3, 3}, {LayerSpec::conv(1, 3, true)});
+  Network net(topo);
+  for (std::size_t r = 0; r < 9; ++r) net.layer(0).weights(r, 0) = 1.0f;
+  net.layer(0).neuron.v_threshold = 1.0;
+  Simulator sim(net, det_config(1));
+  Rng rng(7);
+  std::vector<float> img(9, 0.0f);
+  img[4] = 1.0f;  // centre spikes; every output neuron sees weight 1
+  const SimResult r = sim.run(img, rng);
+  EXPECT_EQ(r.trace.layers[1][0].count(), 9u);  // all 9 outputs fire
+}
+
+TEST(Simulator, PoolAveragesSpatially) {
+  Topology topo("p", Shape3{1, 2, 2}, {LayerSpec::avg_pool(2)});
+  Network net(topo);
+  net.layer(0).neuron.v_threshold = 1.0;
+  Simulator sim(net, det_config(4));
+  Rng rng(8);
+  std::vector<float> img{1.0f, 1.0f, 1.0f, 1.0f};  // all 4 inputs spike/step
+  const SimResult r = sim.run(img, rng);
+  // Drive = 4 * 1/4 = 1 per step -> pool neuron fires every step.
+  EXPECT_EQ(r.output_spike_counts[0], 4u);
+}
+
+TEST(Simulator, PoolQuarterDriveFiresQuarterRate) {
+  Topology topo("p", Shape3{1, 2, 2}, {LayerSpec::avg_pool(2)});
+  Network net(topo);
+  net.layer(0).neuron.v_threshold = 1.0;
+  Simulator sim(net, det_config(16));
+  Rng rng(9);
+  std::vector<float> img{1.0f, 0.0f, 0.0f, 0.0f};
+  const SimResult r = sim.run(img, rng);
+  EXPECT_EQ(r.output_spike_counts[0], 4u);  // 16 * 1/4
+}
+
+TEST(Simulator, TotalSpikesSumsAllLayers) {
+  Network net = tiny_dense();
+  Simulator sim(net, det_config(8));
+  Rng rng(10);
+  std::vector<float> img{1.0f, 1.0f};
+  const SimResult r = sim.run(img, rng);
+  EXPECT_EQ(r.total_spikes, 8u * 2u + 8u * 2u);  // inputs + outputs
+}
+
+TEST(Calibration, HitsTargetActivityOnRandomNet) {
+  Topology topo("r", Shape3{1, 1, 64},
+                {LayerSpec::dense(128), LayerSpec::dense(32)});
+  Network net(topo);
+  Rng rng(11);
+  net.init_random(rng, 1.0f);
+  std::vector<std::vector<float>> images;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<float> img(64);
+    for (auto& p : img) p = static_cast<float>(rng.uniform(0.0, 1.0));
+    images.push_back(std::move(img));
+  }
+  SimConfig cfg = det_config(24);
+  const double target = 0.10;
+  calibrate_thresholds(net, images, cfg, rng, target);
+  // Measure realised activity on the hidden layer.
+  Simulator sim(net, cfg);
+  double act = 0.0;
+  for (const auto& img : images) {
+    const SimResult r = sim.run(img, rng);
+    act += r.trace.layer_activity(1);
+  }
+  act /= static_cast<double>(images.size());
+  EXPECT_GT(act, 0.02);
+  EXPECT_LT(act, 0.35);
+}
+
+TEST(Calibration, RejectsBadTarget) {
+  Network net = tiny_dense();
+  std::vector<std::vector<float>> images{{1.0f, 0.0f}};
+  Rng rng(12);
+  EXPECT_THROW(
+      calibrate_thresholds(net, images, det_config(4), rng, 0.0),
+      ConfigError);
+  EXPECT_THROW(
+      calibrate_thresholds(net, images, det_config(4), rng, 1.0),
+      ConfigError);
+}
+
+TEST(EvaluateAccuracy, PerfectOnSeparableToy) {
+  // Identity net: class = index of the bright pixel.
+  Network net = tiny_dense();
+  SimConfig cfg = det_config(8);
+  std::vector<std::vector<float>> images{{1.0f, 0.0f}, {0.0f, 1.0f}};
+  std::vector<int> labels{0, 1};
+  Rng rng(13);
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(net, cfg, images, labels, rng), 1.0);
+}
+
+}  // namespace
+}  // namespace resparc::snn

@@ -1,0 +1,71 @@
+// Unit tests for CACTI-lite (tech/sram.hpp).
+#include "tech/sram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace resparc::tech {
+namespace {
+
+TEST(Sram, ReadEnergyGrowsWithCapacity) {
+  double prev = 0.0;
+  for (std::size_t kb : {32u, 64u, 256u, 1024u}) {
+    SramModel sram{{.capacity_bytes = kb * 1024, .word_bits = 64}};
+    EXPECT_GT(sram.read_energy_pj(), prev);
+    prev = sram.read_energy_pj();
+  }
+}
+
+TEST(Sram, SqrtCapacityScaling) {
+  SramModel a{{.capacity_bytes = 64 * 1024, .word_bits = 64}};
+  SramModel b{{.capacity_bytes = 256 * 1024, .word_bits = 64}};
+  EXPECT_NEAR(b.read_energy_pj() / a.read_energy_pj(), 2.0, 1e-9);
+}
+
+TEST(Sram, AnchorPoint32KB) {
+  // CACTI 6.0 anchor: ~10 pJ per 64-bit read at 32 KB (see sram.cpp).
+  SramModel sram{{.capacity_bytes = 32 * 1024, .word_bits = 64}};
+  EXPECT_NEAR(sram.read_energy_pj(), 10.0, 1.0);
+}
+
+TEST(Sram, WidthScalesLinearly) {
+  SramModel narrow{{.capacity_bytes = 64 * 1024, .word_bits = 32}};
+  SramModel wide{{.capacity_bytes = 64 * 1024, .word_bits = 128}};
+  EXPECT_NEAR(wide.read_energy_pj() / narrow.read_energy_pj(), 4.0, 1e-9);
+}
+
+TEST(Sram, WritesCostMoreThanReads) {
+  SramModel sram{{.capacity_bytes = 64 * 1024, .word_bits = 64}};
+  EXPECT_GT(sram.write_energy_pj(), sram.read_energy_pj());
+}
+
+TEST(Sram, LeakageLinearInCapacity) {
+  SramModel a{{.capacity_bytes = 512 * 1024, .word_bits = 64}};
+  SramModel b{{.capacity_bytes = 1024 * 1024, .word_bits = 64}};
+  EXPECT_NEAR(b.leakage_w() / a.leakage_w(), 2.0, 1e-9);
+}
+
+TEST(Sram, LeakageDerateApplies) {
+  SramModel full{{.capacity_bytes = 1024 * 1024, .word_bits = 64,
+                  .leakage_derate = 1.0}};
+  SramModel lowleak{{.capacity_bytes = 1024 * 1024, .word_bits = 64,
+                     .leakage_derate = 0.3}};
+  EXPECT_NEAR(lowleak.leakage_w() / full.leakage_w(), 0.3, 1e-9);
+}
+
+TEST(Sram, AreaIncludesPeriphery) {
+  SramModel tiny{{.capacity_bytes = 1024, .word_bits = 64}};
+  EXPECT_GT(tiny.area_mm2(), 0.004);  // fixed periphery floor
+}
+
+TEST(Sram, RejectsBadConfig) {
+  EXPECT_THROW(SramModel({.capacity_bytes = 16, .word_bits = 64}), ConfigError);
+  EXPECT_THROW(SramModel({.capacity_bytes = 4096, .word_bits = 4}), ConfigError);
+  EXPECT_THROW(SramModel({.capacity_bytes = 4096, .word_bits = 64,
+                          .leakage_derate = 0.0}),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace resparc::tech

@@ -1,0 +1,89 @@
+// Unit tests for spike statistics (snn/stats.hpp).
+#include "snn/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace resparc::snn {
+namespace {
+
+SpikeTrace make_trace(std::size_t layers, std::size_t neurons, std::size_t T) {
+  SpikeTrace trace;
+  trace.layers.resize(layers);
+  for (auto& lt : trace.layers)
+    for (std::size_t t = 0; t < T; ++t) lt.emplace_back(neurons);
+  return trace;
+}
+
+TEST(PacketStats, AllZeroTrace) {
+  SpikeTrace trace = make_trace(1, 128, 4);
+  const PacketStats s = layer_packet_stats(trace, 0, 32);
+  EXPECT_EQ(s.packets, 4u * 4u);
+  EXPECT_EQ(s.zero_packets, s.packets);
+  EXPECT_DOUBLE_EQ(s.zero_fraction(), 1.0);
+}
+
+TEST(PacketStats, SingleSpikeBreaksOnePacket) {
+  SpikeTrace trace = make_trace(1, 128, 1);
+  trace.layers[0][0].set(40);  // packet [32,64) at size 32
+  const PacketStats s = layer_packet_stats(trace, 0, 32);
+  EXPECT_EQ(s.packets, 4u);
+  EXPECT_EQ(s.zero_packets, 3u);
+}
+
+TEST(PacketStats, ZeroFractionFallsWithPacketSize) {
+  // The paper's section 5.3 observation: larger run lengths are less
+  // likely to be all-zero.  Use random sparse spikes.
+  SpikeTrace trace = make_trace(1, 1024, 8);
+  Rng rng(1);
+  for (auto& v : trace.layers[0])
+    for (std::size_t i = 0; i < v.size(); ++i)
+      if (rng.bernoulli(0.03)) v.set(i);
+  double prev = 1.1;
+  for (std::size_t bits : {32u, 64u, 128u}) {
+    const double zf = layer_packet_stats(trace, 0, bits).zero_fraction();
+    EXPECT_LT(zf, prev);
+    prev = zf;
+  }
+}
+
+TEST(PacketStats, TraceAggregatesLayers) {
+  SpikeTrace trace = make_trace(2, 64, 2);
+  trace.layers[1][0].set(0);
+  const PacketStats all = trace_packet_stats(trace, 64);
+  EXPECT_EQ(all.packets, 4u);
+  EXPECT_EQ(all.zero_packets, 3u);
+}
+
+TEST(PacketStats, RejectsBadArgs) {
+  SpikeTrace trace = make_trace(1, 64, 1);
+  EXPECT_THROW(layer_packet_stats(trace, 0, 0), ConfigError);
+  EXPECT_THROW(layer_packet_stats(trace, 5, 32), ConfigError);
+}
+
+TEST(Activity, MeanOverAllLayers) {
+  SpikeTrace trace = make_trace(2, 10, 2);
+  trace.layers[0][0].set(0);
+  trace.layers[0][1].set(1);
+  // 2 spikes / (2 layers * 10 neurons * 2 steps) = 0.05
+  EXPECT_DOUBLE_EQ(mean_activity(trace), 0.05);
+}
+
+TEST(Activity, PerLayerVector) {
+  SpikeTrace trace = make_trace(2, 10, 1);
+  trace.layers[1][0].set(3);
+  const auto acts = layer_activities(trace);
+  ASSERT_EQ(acts.size(), 2u);
+  EXPECT_DOUBLE_EQ(acts[0], 0.0);
+  EXPECT_DOUBLE_EQ(acts[1], 0.1);
+}
+
+TEST(Activity, EmptyTraceIsZero) {
+  SpikeTrace trace;
+  EXPECT_DOUBLE_EQ(mean_activity(trace), 0.0);
+}
+
+}  // namespace
+}  // namespace resparc::snn

@@ -1,0 +1,84 @@
+// Unit tests for the programmable switch (core/switch.hpp).
+#include "core/switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace resparc::core {
+namespace {
+
+TEST(Switch, ForwardsNonZeroPackets) {
+  ProgrammableSwitch sw(0, /*zero_check=*/true);
+  SpikePacket p;
+  p.payload = 0xdeadbeef;
+  p.dst_mpe = 3;
+  EXPECT_TRUE(sw.offer(p));
+  ASSERT_TRUE(sw.pending());
+  const SpikePacket out = sw.deliver();
+  EXPECT_EQ(out.payload, 0xdeadbeefu);
+  EXPECT_EQ(out.dst_mpe, 3);
+  EXPECT_EQ(sw.counters().forwarded, 1u);
+}
+
+TEST(Switch, ZeroCheckDropsAllZeroPackets) {
+  // Section 3.2: "zero-check logic ... prevents data transfers resulting
+  // from insignificant spike-packets".
+  ProgrammableSwitch sw(1, true);
+  SpikePacket zero;
+  zero.payload = 0;
+  EXPECT_FALSE(sw.offer(zero));
+  EXPECT_FALSE(sw.pending());
+  EXPECT_EQ(sw.counters().dropped_zero, 1u);
+  EXPECT_EQ(sw.counters().forwarded, 0u);
+}
+
+TEST(Switch, ZeroCheckDisabledForwardsEverything) {
+  ProgrammableSwitch sw(2, false);
+  SpikePacket zero;
+  zero.payload = 0;
+  EXPECT_TRUE(sw.offer(zero));
+  EXPECT_TRUE(sw.pending());
+  sw.deliver();
+  EXPECT_EQ(sw.counters().dropped_zero, 0u);
+}
+
+TEST(Switch, FifoArbitrationOrder) {
+  ProgrammableSwitch sw(3, true);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    SpikePacket p;
+    p.payload = i;
+    sw.offer(p);
+  }
+  for (std::uint64_t i = 1; i <= 5; ++i) EXPECT_EQ(sw.deliver().payload, i);
+}
+
+TEST(Switch, DeliverOnEmptyThrows) {
+  ProgrammableSwitch sw(4, true);
+  EXPECT_THROW(sw.deliver(), ConfigError);
+}
+
+TEST(Switch, HighWaterMarkTracksQueue) {
+  ProgrammableSwitch sw(5, false);
+  SpikePacket p;
+  p.payload = 1;
+  sw.offer(p);
+  sw.offer(p);
+  sw.offer(p);
+  EXPECT_EQ(sw.counters().buffered_max, 3u);
+  sw.deliver();
+  EXPECT_EQ(sw.counters().buffered_max, 3u);
+}
+
+TEST(Switch, ResetCounters) {
+  ProgrammableSwitch sw(6, true);
+  SpikePacket p;
+  p.payload = 7;
+  sw.offer(p);
+  sw.deliver();
+  sw.reset_counters();
+  EXPECT_EQ(sw.counters().forwarded, 0u);
+}
+
+}  // namespace
+}  // namespace resparc::core

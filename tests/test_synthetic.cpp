@@ -1,0 +1,152 @@
+// Unit tests for the synthetic dataset generators (data/synthetic.hpp).
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace resparc::data {
+namespace {
+
+using snn::DatasetKind;
+
+TEST(Synthetic, ShapesPerFamily) {
+  SyntheticOptions opt{.count = 10, .seed = 1};
+  EXPECT_EQ(make_synthetic(DatasetKind::kMnistLike, opt).shape,
+            (Shape3{1, 28, 28}));
+  EXPECT_EQ(make_synthetic(DatasetKind::kSvhnLike, opt).shape,
+            (Shape3{3, 32, 32}));
+  EXPECT_EQ(make_synthetic(DatasetKind::kCifarLike, opt).shape,
+            (Shape3{3, 32, 32}));
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticOptions opt{.count = 8, .seed = 42};
+  const Dataset a = make_synthetic(DatasetKind::kMnistLike, opt);
+  const Dataset b = make_synthetic(DatasetKind::kMnistLike, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.labels[i], b.labels[i]);
+    EXPECT_EQ(a.images[i], b.images[i]);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticOptions a{.count = 4, .seed = 1};
+  SyntheticOptions b{.count = 4, .seed = 2};
+  const Dataset da = make_synthetic(DatasetKind::kMnistLike, a);
+  const Dataset db = make_synthetic(DatasetKind::kMnistLike, b);
+  EXPECT_NE(da.images[0], db.images[0]);
+}
+
+TEST(Synthetic, LabelsBalancedByCycling) {
+  SyntheticOptions opt{.count = 50, .seed = 3};
+  const Dataset ds = make_synthetic(DatasetKind::kCifarLike, opt);
+  std::array<int, 10> histo{};
+  for (int l : ds.labels) ++histo[static_cast<std::size_t>(l)];
+  for (int h : histo) EXPECT_EQ(h, 5);
+}
+
+TEST(Synthetic, PixelsInUnitRange) {
+  SyntheticOptions opt{.count = 12, .seed = 4, .noise = 0.2};
+  for (auto kind : {DatasetKind::kMnistLike, DatasetKind::kSvhnLike,
+                    DatasetKind::kCifarLike}) {
+    const Dataset ds = make_synthetic(kind, opt);
+    for (const auto& img : ds.images)
+      for (float p : img) {
+        EXPECT_GE(p, 0.0f);
+        EXPECT_LE(p, 1.0f);
+      }
+  }
+}
+
+TEST(Synthetic, MnistLikeIsSparseSvhnLikeIsDense) {
+  // The property Fig. 13 depends on: digit-on-black images have mostly
+  // near-zero pixels; SVHN/CIFAR-like backgrounds are bright.
+  SyntheticOptions opt{.count = 20, .seed = 5, .noise = 0.02};
+  auto dark_fraction = [](const Dataset& ds) {
+    std::size_t dark = 0, total = 0;
+    for (const auto& img : ds.images)
+      for (float p : img) {
+        dark += p < 0.1f;
+        ++total;
+      }
+    return static_cast<double>(dark) / static_cast<double>(total);
+  };
+  EXPECT_GT(dark_fraction(make_synthetic(DatasetKind::kMnistLike, opt)), 0.5);
+  EXPECT_LT(dark_fraction(make_synthetic(DatasetKind::kSvhnLike, opt)), 0.2);
+  EXPECT_LT(dark_fraction(make_synthetic(DatasetKind::kCifarLike, opt)), 0.2);
+}
+
+TEST(Synthetic, ClassesAreSeparableByPrototype) {
+  // Nearest-prototype classification should beat chance by a wide margin —
+  // the property the Fig. 14(a) accuracy study needs.
+  SyntheticOptions opt{.count = 100, .seed = 6, .noise = 0.05,
+                       .jitter_pixels = 1.0};
+  const Dataset ds = make_synthetic(DatasetKind::kMnistLike, opt);
+  std::vector<Tensor3> protos;
+  for (int c = 0; c < 10; ++c)
+    protos.push_back(class_prototype(DatasetKind::kMnistLike, c));
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    double best = 1e18;
+    int best_c = -1;
+    for (int c = 0; c < 10; ++c) {
+      double dist = 0.0;
+      const auto flat = protos[static_cast<std::size_t>(c)].flat();
+      for (std::size_t p = 0; p < flat.size(); ++p) {
+        const double d = static_cast<double>(flat[p] - ds.images[i][p]);
+        dist += d * d;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    if (best_c == ds.labels[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(ds.size()), 0.8);
+}
+
+TEST(Synthetic, DownsampledHalvesSpatial) {
+  SyntheticOptions opt{.count = 6, .seed = 7};
+  const Dataset ds = make_synthetic_downsampled(DatasetKind::kSvhnLike, opt);
+  EXPECT_EQ(ds.shape, (Shape3{3, 16, 16}));
+  EXPECT_EQ(ds.images[0].size(), 768u);  // the MLP benchmarks' input width
+  EXPECT_EQ(ds.labels.size(), 6u);
+}
+
+TEST(Synthetic, DownsampleAveragesIntensity) {
+  SyntheticOptions opt{.count = 6, .seed = 8, .noise = 0.0};
+  const Dataset full = make_synthetic(DatasetKind::kCifarLike, opt);
+  const Dataset down = make_synthetic_downsampled(DatasetKind::kCifarLike, opt);
+  // Total intensity is preserved by 2x2 mean pooling (up to factor 4).
+  double sum_full = 0.0, sum_down = 0.0;
+  for (float p : full.images[0]) sum_full += p;
+  for (float p : down.images[0]) sum_down += p;
+  EXPECT_NEAR(sum_down, sum_full / 4.0, sum_full * 0.01);
+}
+
+TEST(Synthetic, TakeDropSplit) {
+  SyntheticOptions opt{.count = 10, .seed = 9};
+  const Dataset ds = make_synthetic(DatasetKind::kMnistLike, opt);
+  const Dataset head = ds.take(6);
+  const Dataset tail = ds.drop(6);
+  EXPECT_EQ(head.size(), 6u);
+  EXPECT_EQ(tail.size(), 4u);
+  EXPECT_EQ(head.images[0], ds.images[0]);
+  EXPECT_EQ(tail.images[0], ds.images[6]);
+  EXPECT_THROW(ds.take(11), ConfigError);
+}
+
+TEST(Synthetic, PrototypeLabelRangeChecked) {
+  EXPECT_THROW(class_prototype(DatasetKind::kMnistLike, 10), ConfigError);
+  EXPECT_THROW(class_prototype(DatasetKind::kMnistLike, -1), ConfigError);
+}
+
+}  // namespace
+}  // namespace resparc::data

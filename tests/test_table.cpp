@@ -1,0 +1,82 @@
+// Unit tests for the Table and Csv emitters.
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+
+namespace resparc {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, FactorAppendsX) {
+  EXPECT_EQ(Table::factor(12.34, 1), "12.3x");
+}
+
+TEST(Table, ColumnsAlignAcrossRows) {
+  Table t({"h"});
+  t.add_row({"looooooong"});
+  t.add_row({"s"});
+  std::ostringstream os;
+  t.print(os);
+  // Every line between rules must have the same length.
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Csv, WritesEscapedContent) {
+  Csv csv({"k", "v"});
+  csv.add_row({"plain", "with,comma"});
+  csv.add_row({"quote\"inside", "line\nbreak"});
+  const std::string path = "/tmp/resparc_test_csv.csv";
+  ASSERT_TRUE(csv.write(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(content.find("\"quote\"\"inside\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, FailsGracefullyOnBadPath) {
+  Csv csv({"a"});
+  EXPECT_FALSE(csv.write("/nonexistent_dir_xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace resparc

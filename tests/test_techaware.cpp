@@ -1,0 +1,93 @@
+// Unit tests for technology-aware MCA size selection (core/techaware.hpp).
+#include "core/techaware.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "snn/benchmarks.hpp"
+#include "snn/simulator.hpp"
+
+namespace resparc::core {
+namespace {
+
+using snn::LayerSpec;
+using snn::Topology;
+
+std::vector<snn::SpikeTrace> traces_for(const Topology& topo, int n_images,
+                                        double activity = 0.1) {
+  snn::Network net(topo);
+  Rng rng(1);
+  net.init_random(rng, 1.0f);
+  std::vector<std::vector<float>> images;
+  for (int i = 0; i < n_images; ++i) {
+    std::vector<float> img(topo.input_shape().size());
+    for (auto& p : img) p = static_cast<float>(rng.uniform(0.0, 1.0));
+    images.push_back(std::move(img));
+  }
+  snn::SimConfig cfg;
+  cfg.timesteps = 10;
+  snn::calibrate_thresholds(net, images, cfg, rng, activity);
+  snn::Simulator sim(net, cfg);
+  std::vector<snn::SpikeTrace> traces;
+  for (const auto& img : images) traces.push_back(sim.run(img, rng).trace);
+  return traces;
+}
+
+TEST(TechAware, PermissibleSizesShrinkWithWireResistance) {
+  const std::vector<std::size_t> sizes{32, 64, 128, 256, 512};
+  const tech::Technology t = tech::default_technology();
+  // Generous floor: everything passes with ideal wires.
+  const auto ideal = permissible_sizes(sizes, t, 0.0, 0.9);
+  EXPECT_EQ(ideal.size(), sizes.size());
+  // Resistive wires: large arrays drop out first.
+  const auto constrained = permissible_sizes(sizes, t, 20.0, 0.9);
+  EXPECT_LT(constrained.size(), sizes.size());
+  for (std::size_t i = 1; i < constrained.size(); ++i)
+    EXPECT_GT(constrained[i], constrained[i - 1]);
+  // The surviving set is a prefix (small sizes survive).
+  for (std::size_t n : constrained) EXPECT_LE(n, 256u);
+}
+
+TEST(TechAware, ExploreReturnsAllCandidates) {
+  const Topology topo("e", Shape3{1, 1, 128},
+                      {LayerSpec::dense(128), LayerSpec::dense(10)});
+  const auto traces = traces_for(topo, 2);
+  const std::vector<std::size_t> sizes{32, 64, 128};
+  const TechAwareResult r =
+      explore_mca_sizes(topo, traces, default_config(), sizes);
+  ASSERT_EQ(r.candidates.size(), 3u);
+  for (const auto& c : r.candidates) {
+    EXPECT_GT(c.energy_pj, 0.0);
+    EXPECT_GT(c.latency_ns, 0.0);
+    EXPECT_GT(c.mca_count, 0u);
+  }
+  EXPECT_LT(r.best_index, 3u);
+  EXPECT_LE(r.best().energy_pj, r.candidates[0].energy_pj);
+  EXPECT_LE(r.best().energy_pj, r.candidates[2].energy_pj);
+}
+
+TEST(TechAware, MlpPrefersLargerArrays) {
+  // Fig. 12(a): for dense MLPs, bigger crossbars amortise peripherals.
+  const Topology topo("mlp", Shape3{1, 1, 512},
+                      {LayerSpec::dense(512), LayerSpec::dense(10)});
+  const auto traces = traces_for(topo, 2);
+  const std::vector<std::size_t> sizes{32, 128};
+  const TechAwareResult r =
+      explore_mca_sizes(topo, traces, default_config(), sizes);
+  EXPECT_EQ(r.best().mca_size, 128u);
+}
+
+TEST(TechAware, RejectsEmptyInputs) {
+  const Topology topo("x", Shape3{1, 1, 8}, {LayerSpec::dense(4)});
+  const auto traces = traces_for(topo, 1);
+  EXPECT_THROW(
+      explore_mca_sizes(topo, traces, default_config(), std::vector<std::size_t>{}),
+      ConfigError);
+  EXPECT_THROW(explore_mca_sizes(topo, {}, default_config(),
+                                 std::vector<std::size_t>{64}),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace resparc::core

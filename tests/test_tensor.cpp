@@ -1,0 +1,61 @@
+// Unit tests for Tensor3 (common/tensor.hpp) and units helpers.
+#include "common/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace resparc {
+namespace {
+
+TEST(Shape3, SizeIsProduct) {
+  Shape3 s{3, 4, 5};
+  EXPECT_EQ(s.size(), 60u);
+}
+
+TEST(Shape3, Equality) {
+  EXPECT_EQ((Shape3{1, 2, 3}), (Shape3{1, 2, 3}));
+  EXPECT_NE((Shape3{1, 2, 3}), (Shape3{3, 2, 1}));
+}
+
+TEST(Tensor3, ZeroInitialised) {
+  Tensor3 t(Shape3{2, 3, 4});
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t(1, 2, 3), 0.0f);
+}
+
+TEST(Tensor3, ChwLayout) {
+  Tensor3 t(Shape3{2, 2, 2});
+  t(1, 0, 1) = 5.0f;  // index (1*2+0)*2+1 = 5
+  EXPECT_EQ(t.flat()[5], 5.0f);
+}
+
+TEST(Tensor3, FlatConstructorChecksSize) {
+  EXPECT_THROW(Tensor3(Shape3{1, 2, 2}, std::vector<float>{1.0f}), ShapeError);
+}
+
+TEST(Tensor3, FillOverwrites) {
+  Tensor3 t(Shape3{1, 2, 2});
+  t.fill(3.0f);
+  EXPECT_EQ(t(0, 1, 1), 3.0f);
+}
+
+TEST(Units, WattsOverNs) {
+  // 1 W for 1 ns = 1 nJ = 1000 pJ.
+  EXPECT_DOUBLE_EQ(watts_over_ns_to_pj(1.0, 1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(watts_over_ns_to_pj(0.001, 1000.0), 1000.0);
+}
+
+TEST(Units, ClockPeriod) {
+  EXPECT_DOUBLE_EQ(mhz_to_period_ns(200.0), 5.0);
+  EXPECT_DOUBLE_EQ(mhz_to_period_ns(1000.0), 1.0);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(pj_to_uj(1e6), 1.0);
+  EXPECT_DOUBLE_EQ(ns_to_us(1500.0), 1.5);
+}
+
+}  // namespace
+}  // namespace resparc

@@ -1,0 +1,86 @@
+// Unit tests for the topology IR (snn/topology.hpp).
+#include "snn/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace resparc::snn {
+namespace {
+
+TEST(Topology, DenseShapesAndCounts) {
+  Topology t("mlp", Shape3{1, 1, 4},
+             {LayerSpec::dense(3), LayerSpec::dense(2)});
+  ASSERT_EQ(t.layer_count(), 2u);
+  EXPECT_EQ(t.layers()[0].fan_in, 4u);
+  EXPECT_EQ(t.layers()[0].neurons, 3u);
+  EXPECT_EQ(t.layers()[0].synapses, 12u);
+  EXPECT_EQ(t.layers()[1].fan_in, 3u);
+  EXPECT_EQ(t.layers()[1].synapses, 6u);
+  EXPECT_EQ(t.synapse_count(), 18u);
+  EXPECT_EQ(t.neuron_count(true), 4u + 3u + 2u);
+  EXPECT_EQ(t.neuron_count(false), 5u);
+  EXPECT_FALSE(t.is_convolutional());
+  EXPECT_EQ(t.output_count(), 2u);
+}
+
+TEST(Topology, ConvSamePaddingKeepsSpatial) {
+  Topology t("cnn", Shape3{3, 8, 8}, {LayerSpec::conv(16, 3, true)});
+  const auto& li = t.layers()[0];
+  EXPECT_EQ(li.out_shape, (Shape3{16, 8, 8}));
+  EXPECT_EQ(li.fan_in, 3u * 9u);
+  EXPECT_EQ(li.neurons, 16u * 64u);
+  EXPECT_EQ(li.synapses, li.neurons * li.fan_in);
+  EXPECT_EQ(li.unique_weights, 16u * 27u);
+  EXPECT_TRUE(t.is_convolutional());
+}
+
+TEST(Topology, ConvValidShrinksSpatial) {
+  Topology t("cnn", Shape3{1, 8, 8}, {LayerSpec::conv(4, 3, false)});
+  EXPECT_EQ(t.layers()[0].out_shape, (Shape3{4, 6, 6}));
+}
+
+TEST(Topology, PoolHalvesSpatial) {
+  Topology t("p", Shape3{4, 8, 8}, {LayerSpec::avg_pool(2)});
+  const auto& li = t.layers()[0];
+  EXPECT_EQ(li.out_shape, (Shape3{4, 4, 4}));
+  EXPECT_EQ(li.fan_in, 4u);
+  EXPECT_EQ(li.unique_weights, 0u);  // fixed averaging weights
+}
+
+TEST(Topology, LayersChainShapes) {
+  Topology t("chain", Shape3{1, 28, 28},
+             {LayerSpec::conv(8, 3), LayerSpec::avg_pool(2),
+              LayerSpec::dense(10)});
+  EXPECT_EQ(t.layers()[1].in_shape, (Shape3{8, 28, 28}));
+  EXPECT_EQ(t.layers()[2].fan_in, 8u * 14u * 14u);
+}
+
+TEST(Topology, RejectsInvalidLayers) {
+  EXPECT_THROW(Topology("bad", Shape3{1, 4, 4}, {LayerSpec::dense(0)}),
+               ConfigError);
+  EXPECT_THROW(Topology("bad", Shape3{1, 4, 4}, {LayerSpec::conv(4, 2)}),
+               ConfigError);  // even kernel
+  EXPECT_THROW(Topology("bad", Shape3{1, 5, 5}, {LayerSpec::avg_pool(2)}),
+               ConfigError);  // window does not divide size
+  EXPECT_THROW(Topology("bad", Shape3{1, 4, 4}, {}), ConfigError);
+  EXPECT_THROW(Topology("bad", Shape3{1, 2, 2}, {LayerSpec::conv(4, 5, false)}),
+               ConfigError);  // valid conv larger than input
+}
+
+TEST(Topology, SummaryStringsReadable) {
+  Topology mlp("m", Shape3{1, 1, 784}, {LayerSpec::dense(100)});
+  EXPECT_EQ(mlp.summary(), "784-100");
+  Topology cnn("c", Shape3{3, 32, 32},
+               {LayerSpec::conv(64, 3), LayerSpec::avg_pool(2)});
+  EXPECT_EQ(cnn.summary(), "32x32x3-64c3-p2");
+}
+
+TEST(Topology, LayerKindNames) {
+  EXPECT_EQ(to_string(LayerKind::kDense), "dense");
+  EXPECT_EQ(to_string(LayerKind::kConv), "conv");
+  EXPECT_EQ(to_string(LayerKind::kAvgPool), "avgpool");
+}
+
+}  // namespace
+}  // namespace resparc::snn

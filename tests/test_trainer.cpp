@@ -1,0 +1,91 @@
+// Unit tests for the SGD trainer (train/trainer.hpp).
+#include "train/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+
+namespace resparc::train {
+namespace {
+
+using data::Dataset;
+using data::SyntheticOptions;
+using snn::DatasetKind;
+using snn::LayerSpec;
+using snn::Topology;
+
+Dataset tiny_mnist(std::size_t n, std::uint64_t seed) {
+  return data::make_synthetic(DatasetKind::kMnistLike,
+                              {.count = n, .seed = seed, .noise = 0.03,
+                               .jitter_pixels = 1.0});
+}
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+  const Dataset ds = tiny_mnist(60, 1);
+  Ann ann(Topology("t", Shape3{1, 28, 28},
+                   {LayerSpec::dense(48), LayerSpec::dense(10)}));
+  Rng rng(1);
+  ann.init_he(rng);
+  const TrainReport rep =
+      train(ann, ds, {.epochs = 5, .batch_size = 10, .learning_rate = 0.05},
+            rng);
+  ASSERT_EQ(rep.epoch_loss.size(), 5u);
+  EXPECT_LT(rep.epoch_loss.back(), rep.epoch_loss.front());
+}
+
+TEST(Trainer, LearnsSeparableSyntheticDigits) {
+  const Dataset ds = tiny_mnist(120, 2);
+  Ann ann(Topology("t2", Shape3{1, 28, 28},
+                   {LayerSpec::dense(64), LayerSpec::dense(10)}));
+  Rng rng(2);
+  ann.init_he(rng);
+  const TrainReport rep =
+      train(ann, ds, {.epochs = 20, .batch_size = 12, .learning_rate = 0.02},
+            rng);
+  EXPECT_GT(rep.final_accuracy, 0.85);
+}
+
+TEST(Trainer, GeneralisesToHeldOutSamples) {
+  const Dataset all = tiny_mnist(160, 3);
+  const Dataset train_set = all.take(120);
+  const Dataset test_set = all.drop(120);
+  Ann ann(Topology("t3", Shape3{1, 28, 28},
+                   {LayerSpec::dense(64), LayerSpec::dense(10)}));
+  Rng rng(3);
+  ann.init_he(rng);
+  train(ann, train_set,
+        {.epochs = 20, .batch_size = 12, .learning_rate = 0.02}, rng);
+  EXPECT_GT(ann_accuracy(ann, test_set), 0.7);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const Dataset ds = tiny_mnist(40, 4);
+  auto run_once = [&]() {
+    Ann ann(Topology("t4", Shape3{1, 28, 28},
+                     {LayerSpec::dense(16), LayerSpec::dense(10)}));
+    Rng rng(7);
+    ann.init_he(rng);
+    train(ann, ds, {.epochs = 2, .batch_size = 8}, rng);
+    return ann.weights(0)(0, 0);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Trainer, RejectsEmptyDataset) {
+  Dataset empty;
+  Ann ann(Topology("t5", Shape3{1, 1, 2}, {LayerSpec::dense(2)}));
+  Rng rng(5);
+  EXPECT_THROW(train(ann, empty, {}, rng), ConfigError);
+  EXPECT_THROW(ann_accuracy(ann, empty), ConfigError);
+}
+
+TEST(Trainer, RejectsZeroBatch) {
+  const Dataset ds = tiny_mnist(10, 6);
+  Ann ann(Topology("t6", Shape3{1, 28, 28}, {LayerSpec::dense(10)}));
+  Rng rng(6);
+  EXPECT_THROW(train(ann, ds, {.batch_size = 0}, rng), ConfigError);
+}
+
+}  // namespace
+}  // namespace resparc::train
