@@ -5,13 +5,16 @@
 // [and] reduces the number of mPEs required".  This ablation quantifies
 // that claim: it maps every CNN benchmark with the baseline per-position
 // tiling and with shared-window tiling, and reports arrays, utilisation
-// and energy.
+// and energy.  It uses the concrete api::ResparcBackend (not the erased
+// registry handle) because it inspects the crossbar Mapping.
 #include <iostream>
 
+#include "api/backends.hpp"
+#include "api/pipeline.hpp"
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
-#include "core/resparc.hpp"
+#include "core/config.hpp"
 
 int main() {
   using namespace resparc;
@@ -24,22 +27,24 @@ int main() {
 
   for (const auto& spec : {snn::mnist_cnn(), snn::svhn_cnn(), snn::cifar_cnn()}) {
     const bench::Workload w = bench::make_workload(spec);
-    for (std::size_t mca : {32u, 64u}) {
-      for (bool enhanced : {false, true}) {
+    for (const std::size_t mca : {32u, 64u}) {
+      for (const bool enhanced : {false, true}) {
         core::ResparcConfig cfg = core::config_with_mca(mca);
         cfg.enhanced_input_sharing = enhanced;
-        core::ResparcChip chip(cfg);
-        const core::Mapping& m = chip.load(spec.topology);
-        const core::RunReport r = chip.execute(w.traces);
+        api::ResparcBackend backend(cfg);
+        backend.load(spec.topology);
+        const core::Mapping& m = backend.mapping();
+        const api::ExecutionReport r =
+            api::Pipeline::execute(backend, w.traces, bench::bench_threads());
         const std::string label = enhanced ? "shared-window" : "per-position";
         t.add_row({spec.topology.name(), std::to_string(mca), label,
                    std::to_string(m.total_mcas), std::to_string(m.total_mpes),
                    Table::num(m.utilization, 3),
-                   Table::num(r.energy.total_pj() * 1e-6, 3)});
+                   Table::num(r.energy_pj * 1e-6, 3)});
         csv.add_row({spec.topology.name(), std::to_string(mca), label,
                      std::to_string(m.total_mcas), std::to_string(m.total_mpes),
                      Table::num(m.utilization, 4),
-                     Table::num(r.energy.total_pj() * 1e-6, 4)});
+                     Table::num(r.energy_pj * 1e-6, 4)});
       }
     }
   }

@@ -33,14 +33,14 @@ int main() {
 
   for (const auto& w : bench::paper_workloads()) {
     const core::TechAwareResult result = core::explore_mca_sizes(
-        w.spec.topology, w.traces, core::default_config(), permitted);
+        w.topology(), w.traces, core::default_config(), permitted);
     const auto& best = result.best();
-    t.add_row({w.spec.topology.name(), std::to_string(best.mca_size),
+    t.add_row({w.topology().name(), std::to_string(best.mca_size),
                Table::num(best.energy_pj * 1e-6, 3),
                Table::num(result.candidates.front().energy_pj * 1e-6, 3),
                Table::num(result.candidates.back().energy_pj * 1e-6, 3),
                Table::num(best.utilization, 3)});
-    csv.add_row({w.spec.topology.name(), std::to_string(best.mca_size),
+    csv.add_row({w.topology().name(), std::to_string(best.mca_size),
                  Table::num(best.energy_pj * 1e-6, 4),
                  Table::num(best.utilization, 4)});
   }

@@ -1,0 +1,127 @@
+// Micro-benchmark — batched pipeline throughput vs thread count.
+//
+// Measures the two thread-pooled stages of api::Pipeline on the MNIST MLP
+// benchmark: trace simulation (presentations/sec through Pipeline::run)
+// and backend execution (traces/sec through Pipeline::execute on the
+// RESPARC and CMOS backends).  Results go to stdout and to
+// pipeline_throughput.json so future PRs can track the perf trajectory.
+//
+// Environment knobs:
+//   RESPARC_BENCH_IMAGES    presentations per measurement (default 8)
+//   RESPARC_BENCH_TIMESTEPS presentation length           (default 16)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "bench_util.hpp"
+#include "snn/benchmarks.hpp"
+
+namespace {
+
+using namespace resparc;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Row {
+  std::size_t threads = 0;
+  double simulate_tps = 0.0;          ///< presentations simulated per second
+  double execute_resparc_tps = 0.0;   ///< traces replayed per second
+  double execute_cmos_tps = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t images =
+      std::max<std::size_t>(bench::bench_images(), 8);
+  const std::size_t timesteps =
+      std::min<std::size_t>(bench::bench_timesteps(), 16);
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("== pipeline throughput vs thread count ==\n");
+  std::printf("(mnist-mlp, %zu presentations x %zu timesteps, %u hardware "
+              "threads)\n\n",
+              images, timesteps, hw == 0 ? 1 : hw);
+
+  const snn::BenchmarkSpec spec = snn::mnist_mlp();
+
+  // One warm workload gives the executors their traces; per-thread-count
+  // runs rebuild it to time the simulation stage.
+  api::PipelineOptions opt;
+  opt.images = images;
+  opt.timesteps = timesteps;
+  opt.threads = 1;
+  const api::Workload warm = api::Pipeline(opt).benchmark(spec).run();
+
+  const auto resparc = api::make_accelerator("resparc-64");
+  const auto cmos = api::make_accelerator("cmos");
+  resparc->load(warm.topology());
+  cmos->load(warm.topology());
+
+  // Serial pipeline overhead (dataset synthesis, network init, threshold
+  // calibration) is identical for every thread count; measure it once via
+  // a record_traces=false run and subtract, so simulate_tps tracks only
+  // the thread-pooled trace-simulation stage.
+  opt.record_traces = false;
+  auto overhead_start = Clock::now();
+  (void)api::Pipeline(opt).benchmark(spec).run();
+  const double overhead_s = seconds_since(overhead_start);
+  opt.record_traces = true;
+
+  std::vector<Row> rows;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    Row row;
+    row.threads = threads;
+
+    opt.threads = threads;
+    auto start = Clock::now();
+    const api::Workload w = api::Pipeline(opt).benchmark(spec).run();
+    const double simulate_s =
+        std::max(seconds_since(start) - overhead_s, 1e-9);
+    row.simulate_tps = static_cast<double>(w.traces.size()) / simulate_s;
+
+    start = Clock::now();
+    (void)api::Pipeline::execute(*resparc, w.traces, threads);
+    row.execute_resparc_tps =
+        static_cast<double>(w.traces.size()) / seconds_since(start);
+
+    start = Clock::now();
+    (void)api::Pipeline::execute(*cmos, w.traces, threads);
+    row.execute_cmos_tps =
+        static_cast<double>(w.traces.size()) / seconds_since(start);
+
+    rows.push_back(row);
+    std::printf("threads %2zu: simulate %8.2f pres/s | execute resparc "
+                "%8.2f traces/s | execute cmos %8.2f traces/s\n",
+                row.threads, row.simulate_tps, row.execute_resparc_tps,
+                row.execute_cmos_tps);
+  }
+
+  const std::string path = "pipeline_throughput.json";
+  std::ofstream out(path);
+  if (out) {
+    out << "{\n  \"benchmark\": \"mnist-mlp\",\n"
+        << "  \"presentations\": " << images << ",\n"
+        << "  \"timesteps\": " << timesteps << ",\n"
+        << "  \"hardware_threads\": " << (hw == 0 ? 1 : hw) << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      out << "    {\"threads\": " << r.threads
+          << ", \"simulate_tps\": " << r.simulate_tps
+          << ", \"execute_resparc_tps\": " << r.execute_resparc_tps
+          << ", \"execute_cmos_tps\": " << r.execute_cmos_tps << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+  bench::note_csv_written(path, static_cast<bool>(out));
+  return 0;
+}

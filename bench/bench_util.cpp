@@ -3,11 +3,6 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "common/rng.hpp"
-#include "data/synthetic.hpp"
-#include "snn/simulator.hpp"
-#include "snn/stats.hpp"
-
 namespace resparc::bench {
 namespace {
 
@@ -24,41 +19,23 @@ std::size_t bench_images() { return env_or("RESPARC_BENCH_IMAGES", 3); }
 
 std::size_t bench_timesteps() { return env_or("RESPARC_BENCH_TIMESTEPS", 32); }
 
-Workload make_workload(const snn::BenchmarkSpec& spec, std::size_t images,
-                       std::size_t timesteps, std::uint64_t seed,
-                       double target_activity) {
-  data::SyntheticOptions opt{
-      .count = images, .seed = seed, .noise = 0.03, .jitter_pixels = 1.5};
-  // SVHN/CIFAR MLPs consume the 16x16x3 downsampled input (DESIGN.md 3).
-  const bool downsampled =
-      spec.topology.input_shape().size() == 768 &&
-      spec.dataset != snn::DatasetKind::kMnistLike;
-  const data::Dataset ds = downsampled
-                               ? data::make_synthetic_downsampled(spec.dataset, opt)
-                               : data::make_synthetic(spec.dataset, opt);
+std::size_t bench_threads() { return env_or("RESPARC_BENCH_THREADS", 0); }
 
-  Workload w{.spec = spec, .network = snn::Network(spec.topology)};
-  Rng rng(seed + 1);
-  w.network.init_random(rng, 1.0f);
+api::PipelineOptions bench_options(std::uint64_t seed, double target_activity) {
+  api::PipelineOptions options;
+  options.images = bench_images();
+  options.timesteps = bench_timesteps();
+  options.threads = bench_threads();
+  options.seed = seed;
+  options.target_activity = target_activity;
+  options.noise = 0.03;
+  options.jitter_pixels = 1.5;
+  return options;
+}
 
-  snn::SimConfig cfg;
-  cfg.timesteps = timesteps;
-  const std::size_t calib = images < 2 ? images : 2;
-  snn::calibrate_thresholds(
-      w.network,
-      std::vector<std::vector<float>>(ds.images.begin(),
-                                      ds.images.begin() +
-                                          static_cast<std::ptrdiff_t>(calib)),
-      cfg, rng, target_activity);
-
-  snn::Simulator sim(w.network, cfg);
-  double activity = 0.0;
-  for (const auto& img : ds.images) {
-    w.traces.push_back(sim.run(img, rng).trace);
-    activity += snn::mean_activity(w.traces.back());
-  }
-  w.mean_activity = activity / static_cast<double>(w.traces.size());
-  return w;
+Workload make_workload(const snn::BenchmarkSpec& spec,
+                       const api::PipelineOptions& options) {
+  return api::Pipeline(options).benchmark(spec).run();
 }
 
 std::vector<Workload> paper_workloads() {

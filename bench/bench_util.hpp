@@ -1,32 +1,29 @@
-// Shared workload builder for the figure benches.
+// Shared workload builder for the figure benches — a thin veneer over
+// api::Pipeline.
 //
 // Every bench consumes the same artefact: a paper benchmark (Fig. 10 row)
 // plus spike traces recorded by the functional simulator on the matching
 // synthetic dataset.  Traces are independent of the architecture
-// configuration, so one build serves every MCA size / event-driven mode.
+// configuration, so one build serves every MCA size / event-driven mode,
+// and identical traces feed every backend of a comparison.
 //
 // Environment knobs (all optional, for quick runs):
 //   RESPARC_BENCH_IMAGES    images per benchmark      (default 3)
 //   RESPARC_BENCH_TIMESTEPS presentation length       (default 32)
+//   RESPARC_BENCH_THREADS   pipeline workers          (default all cores)
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "api/pipeline.hpp"
 #include "snn/benchmarks.hpp"
-#include "snn/network.hpp"
-#include "snn/trace.hpp"
 
 namespace resparc::bench {
 
-/// A benchmark plus recorded spike traces ready for the executors.
-struct Workload {
-  snn::BenchmarkSpec spec;
-  snn::Network network;                 ///< calibrated random-weight SNN
-  std::vector<snn::SpikeTrace> traces;  ///< one per presented image
-  double mean_activity = 0.0;           ///< spikes/neuron/step over traces
-};
+/// The benches consume the API-level workload directly.
+using api::Workload;
 
 /// Number of images per benchmark (env RESPARC_BENCH_IMAGES, default 3).
 std::size_t bench_images();
@@ -34,14 +31,20 @@ std::size_t bench_images();
 /// Presentation length in timesteps (env RESPARC_BENCH_TIMESTEPS, 32).
 std::size_t bench_timesteps();
 
-/// Builds the workload for one Fig. 10 benchmark: synthesises the matching
-/// dataset (downsampled for the SVHN/CIFAR MLPs), initialises weights,
-/// calibrates thresholds to ~`target_activity` per layer, and records the
-/// traces.  Deterministic in `seed`.
+/// Pipeline workers (env RESPARC_BENCH_THREADS, default 0 = all cores).
+std::size_t bench_threads();
+
+/// Pipeline options pre-loaded with the bench environment knobs.
+api::PipelineOptions bench_options(std::uint64_t seed = 7,
+                                   double target_activity = 0.10);
+
+/// Builds the workload for one Fig. 10 benchmark through api::Pipeline:
+/// synthesises the matching dataset (downsampled for the SVHN/CIFAR MLPs),
+/// initialises weights, calibrates thresholds to ~`target_activity` per
+/// layer, and records the traces.  Deterministic in the options seed for
+/// any thread count.
 Workload make_workload(const snn::BenchmarkSpec& spec,
-                       std::size_t images = bench_images(),
-                       std::size_t timesteps = bench_timesteps(),
-                       std::uint64_t seed = 7, double target_activity = 0.10);
+                       const api::PipelineOptions& options = bench_options());
 
 /// All six paper benchmarks as ready workloads (paper row order).
 std::vector<Workload> paper_workloads();

@@ -3,19 +3,20 @@
 // Reproduces the paper's NeuroCell table: micro-architectural parameters
 // (64-bit architecture, 4x4 NC, 16 mPEs / 9 switches, 4 MCAs per mPE) and
 // the implementation-metric roll-up (area, power, gate count, frequency)
-// from the analytic 45 nm component models, printed next to the paper's
-// synthesis numbers.
+// obtained through the unified accelerator API, printed next to the
+// paper's synthesis numbers.
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
-#include "core/resparc.hpp"
+#include "core/config.hpp"
 
 int main() {
   using namespace resparc;
   const core::ResparcConfig cfg = core::default_config();
-  const core::NeuroCellMetrics m = core::neurocell_metrics(cfg);
+  const api::AcceleratorMetrics m = api::make_accelerator("resparc")->metrics();
 
   std::cout << "== Fig. 8: RESPARC parameters and metrics (one NeuroCell) ==\n\n";
 
@@ -23,9 +24,10 @@ int main() {
   params.add_row({"Architecture width", std::to_string(cfg.technology.flit_bits) + " bit", "64 bit"});
   params.add_row({"NC dimension", std::to_string(cfg.nc_dim) + "x" + std::to_string(cfg.nc_dim), "4x4"});
   params.add_row({"No. of mPE (switches)",
-                  std::to_string(m.mpe_count) + " (" + std::to_string(m.switch_count) + ")",
+                  std::to_string(cfg.mpes_per_neurocell()) + " (" +
+                      std::to_string(cfg.switches_per_neurocell()) + ")",
                   "16 (9)"});
-  params.add_row({"No. of MCAs per mPE", std::to_string(m.mcas_per_mpe), "4"});
+  params.add_row({"No. of MCAs per mPE", std::to_string(cfg.mcas_per_mpe), "4"});
   params.print(std::cout);
 
   std::cout << '\n';

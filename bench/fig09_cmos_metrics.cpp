@@ -1,10 +1,11 @@
 // Fig. 9 — CMOS baseline parameters and implementation metrics.
 //
 // The baseline's micro-architecture (16 NUs, FIFO depth 32, 4-bit widths,
-// 1 GHz) and its analytic area/power/gate-count roll-up, printed against
-// the paper's synthesis results.
+// 1 GHz) and its area/power/gate-count roll-up obtained through the
+// unified accelerator API, printed against the paper's synthesis results.
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "bench_util.hpp"
 #include "cmos/falcon.hpp"
 #include "common/csv.hpp"
@@ -13,7 +14,7 @@
 int main() {
   using namespace resparc;
   const cmos::FalconConfig cfg{};
-  const cmos::BaselineMetrics m = cmos::baseline_metrics(cfg);
+  const api::AcceleratorMetrics m = api::make_accelerator("cmos")->metrics();
 
   std::cout << "== Fig. 9: CMOS baseline parameters and metrics ==\n\n";
 

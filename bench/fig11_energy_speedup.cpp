@@ -3,17 +3,18 @@
 //
 // The paper reports (a/c) CNN energy gains of 10-15x at speedups of
 // 33-95x and (b/d) MLP energy gains of 331-659x at speedups of 360-415x.
-// This bench replays identical spike traces through both architecture
-// models and prints the measured factors next to the paper's.
+// This bench replays identical spike traces through both backends via one
+// Pipeline::compare call and prints the measured factors next to the
+// paper's.
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "api/pipeline.hpp"
 #include "bench_util.hpp"
-#include "cmos/falcon.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
-#include "core/resparc.hpp"
 
 namespace {
 
@@ -43,23 +44,22 @@ int main() {
   Csv csv({"benchmark", "resparc_uj", "cmos_uj", "energy_gain", "paper_gain",
            "resparc_us", "cmos_us", "speedup", "paper_speedup"});
 
+  const std::vector<std::string> backends{"cmos", "resparc-64"};
   double mlp_gain_sum = 0.0, cnn_gain_sum = 0.0;
   double mlp_speed_sum = 0.0, cnn_speed_sum = 0.0;
   int mlps = 0, cnns = 0;
 
   for (const auto& w : bench::paper_workloads()) {
-    core::ResparcChip chip(core::config_with_mca(64));
-    chip.load(w.spec.topology);
-    const core::RunReport r = chip.execute(w.traces);
+    const api::ComparisonReport cmp = api::Pipeline::compare(
+        w.topology(), w.traces, backends, {}, bench::bench_threads());
+    const api::ExecutionReport& c = cmp.reference().report;
+    const api::ComparisonEntry& r = *cmp.find("resparc-64");
 
-    cmos::FalconAccelerator baseline(w.spec.topology, {});
-    const cmos::CmosReport c = baseline.run_all(w.traces);
+    const double gain = r.energy_gain;
+    const double speedup = r.speedup;
+    const PaperRow paper = kPaper.at(w.topology().name());
 
-    const double gain = c.energy.total_pj() / r.energy.total_pj();
-    const double speedup = c.latency_ns() / r.perf.latency_pipelined_ns();
-    const PaperRow paper = kPaper.at(w.spec.topology.name());
-
-    if (w.spec.topology.is_convolutional()) {
+    if (w.topology().is_convolutional()) {
       cnn_gain_sum += gain;
       cnn_speed_sum += speedup;
       ++cnns;
@@ -69,19 +69,19 @@ int main() {
       ++mlps;
     }
 
-    t.add_row({w.spec.topology.name(),
-               Table::num(r.energy.total_pj() * 1e-6, 3),
-               Table::num(c.energy.total_pj() * 1e-6, 2),
+    t.add_row({w.topology().name(),
+               Table::num(r.report.energy_pj * 1e-6, 3),
+               Table::num(c.energy_pj * 1e-6, 2),
                Table::factor(gain, 1), Table::factor(paper.energy_gain, 0),
-               Table::num(r.perf.latency_pipelined_ns() * 1e-3, 2),
-               Table::num(c.latency_ns() * 1e-3, 1), Table::factor(speedup, 1),
+               Table::num(r.report.latency_ns * 1e-3, 2),
+               Table::num(c.latency_ns * 1e-3, 1), Table::factor(speedup, 1),
                Table::factor(paper.speedup, 0)});
-    csv.add_row({w.spec.topology.name(),
-                 Table::num(r.energy.total_pj() * 1e-6, 4),
-                 Table::num(c.energy.total_pj() * 1e-6, 3),
+    csv.add_row({w.topology().name(),
+                 Table::num(r.report.energy_pj * 1e-6, 4),
+                 Table::num(c.energy_pj * 1e-6, 3),
                  Table::num(gain, 2), Table::num(paper.energy_gain, 0),
-                 Table::num(r.perf.latency_pipelined_ns() * 1e-3, 3),
-                 Table::num(c.latency_ns() * 1e-3, 2), Table::num(speedup, 2),
+                 Table::num(r.report.latency_ns * 1e-3, 3),
+                 Table::num(c.latency_ns * 1e-3, 2), Table::num(speedup, 2),
                  Table::num(paper.speedup, 0)});
   }
   t.print(std::cout);

@@ -5,13 +5,15 @@
 // falls monotonically with MCA size, CNNs are cheapest at 64.
 // (b/d) CMOS baseline split into Core / Memory Access / Memory Leakage;
 // the paper's claims: MLPs are memory-dominated, CNNs compute-dominated.
+// Every configuration is one make_accelerator name; the named breakdown
+// buckets come straight from the unified ExecutionReport.
 #include <iostream>
+#include <string>
 
+#include "api/pipeline.hpp"
 #include "bench_util.hpp"
-#include "cmos/falcon.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
-#include "core/resparc.hpp"
 
 int main() {
   using namespace resparc;
@@ -26,22 +28,23 @@ int main() {
 
   for (const auto& w : workloads) {
     double norm = 0.0;
-    for (std::size_t mca : {32u, 64u, 128u}) {
-      core::ResparcChip chip(core::config_with_mca(mca));
-      chip.load(w.spec.topology);
-      const core::RunReport r = chip.execute(w.traces);
-      const double total = r.energy.total_pj() * 1e-6;
+    for (const std::size_t mca : {32u, 64u, 128u}) {
+      const auto accel =
+          api::make_accelerator("resparc-" + std::to_string(mca));
+      accel->load(w.topology());
+      const api::ExecutionReport r =
+          api::Pipeline::execute(*accel, w.traces, bench::bench_threads());
+      const double total = r.energy_pj * 1e-6;
       if (norm == 0.0) norm = total;  // normalise to the RESPARC-32 column
-      const std::string cfg_label = "RESPARC-" + std::to_string(mca);
-      ra.add_row({w.spec.topology.name(), cfg_label,
-                  Table::num(r.energy.neuron_pj * 1e-6, 3),
-                  Table::num(r.energy.crossbar_pj * 1e-6, 3),
-                  Table::num(r.energy.peripherals_pj() * 1e-6, 3),
+      ra.add_row({w.topology().name(), accel->name(),
+                  Table::num(r.bucket_pj("neuron") * 1e-6, 3),
+                  Table::num(r.bucket_pj("crossbar") * 1e-6, 3),
+                  Table::num(r.bucket_pj("peripherals") * 1e-6, 3),
                   Table::num(total, 3), Table::num(total / norm, 2)});
-      csv.add_row({w.spec.topology.name(), cfg_label,
-                   Table::num(r.energy.neuron_pj * 1e-6, 4),
-                   Table::num(r.energy.crossbar_pj * 1e-6, 4),
-                   Table::num(r.energy.peripherals_pj() * 1e-6, 4),
+      csv.add_row({w.topology().name(), accel->name(),
+                   Table::num(r.bucket_pj("neuron") * 1e-6, 4),
+                   Table::num(r.bucket_pj("crossbar") * 1e-6, 4),
+                   Table::num(r.bucket_pj("peripherals") * 1e-6, 4),
                    Table::num(total, 4)});
     }
   }
@@ -54,23 +57,25 @@ int main() {
   Table cb({"Benchmark", "Core (uJ)", "Mem access (uJ)", "Mem leakage (uJ)",
             "Total (uJ)", "Dominant"});
   for (const auto& w : workloads) {
-    cmos::FalconAccelerator baseline(w.spec.topology, {});
-    const cmos::CmosReport c = baseline.run_all(w.traces);
-    const double core = c.energy.core_pj * 1e-6;
-    const double acc = c.energy.memory_access_pj * 1e-6;
-    const double leak = c.energy.memory_leakage_pj * 1e-6;
+    const auto baseline = api::make_accelerator("cmos");
+    baseline->load(w.topology());
+    const api::ExecutionReport r =
+        api::Pipeline::execute(*baseline, w.traces, bench::bench_threads());
+    const double core = r.bucket_pj("core") * 1e-6;
+    const double acc = r.bucket_pj("memory_access") * 1e-6;
+    const double leak = r.bucket_pj("memory_leakage") * 1e-6;
     // "Dominant" = the largest single bucket, matching how the paper's
     // stacked bars read.
     const std::string dominant =
         core >= acc && core >= leak
             ? "core"
             : (acc >= leak ? "memory access" : "memory leakage");
-    cb.add_row({w.spec.topology.name(), Table::num(core, 2),
+    cb.add_row({w.topology().name(), Table::num(core, 2),
                 Table::num(acc, 2), Table::num(leak, 2),
-                Table::num(c.energy.total_pj() * 1e-6, 2), dominant});
-    csv.add_row({w.spec.topology.name(), "CMOS", Table::num(core, 4),
+                Table::num(r.energy_pj * 1e-6, 2), dominant});
+    csv.add_row({w.topology().name(), "CMOS", Table::num(core, 4),
                  Table::num(acc, 4), Table::num(leak, 4),
-                 Table::num(c.energy.total_pj() * 1e-6, 4)});
+                 Table::num(r.energy_pj * 1e-6, 4)});
   }
   std::cout << "--- (b/d) CMOS baseline breakdown (per classification) ---\n";
   cb.print(std::cout);

@@ -2,15 +2,18 @@
 //
 // Runs the MNIST MLP and CNN with and without the section-3.2 zero-check
 // levers for MCA sizes 128/64/32 and reports the savings plus the
-// underlying zero-packet statistics.  Paper: savings are largest at the
-// smallest MCA (short runs of zeros are common; long runs are rare), and
-// MLPs save more than CNNs (black background vs foreground-rich windows).
+// underlying zero-packet statistics.  The on/off pair differs only in the
+// BackendOptions handed to make_accelerator.  Paper: savings are largest
+// at the smallest MCA (short runs of zeros are common; long runs are
+// rare), and MLPs save more than CNNs (black background vs foreground-rich
+// windows).
 #include <iostream>
 
+#include "api/pipeline.hpp"
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
-#include "core/resparc.hpp"
+#include "core/config.hpp"
 #include "snn/stats.hpp"
 
 int main() {
@@ -24,16 +27,22 @@ int main() {
 
   for (const auto& spec : {snn::mnist_mlp(), snn::mnist_cnn()}) {
     const bench::Workload w = bench::make_workload(spec);
-    for (std::size_t mca : {128u, 64u, 32u}) {
-      core::ResparcConfig on = core::config_with_mca(mca);
-      core::ResparcConfig off = on;
-      off.event_driven = false;
+    for (const std::size_t mca : {128u, 64u, 32u}) {
+      const std::string backend = "resparc-" + std::to_string(mca);
+      api::BackendOptions on;
+      api::BackendOptions off;
+      off.resparc.event_driven = false;
 
-      core::ResparcChip chip_on(on), chip_off(off);
-      chip_on.load(spec.topology);
-      chip_off.load(spec.topology);
-      const double e_on = chip_on.execute(w.traces).energy.total_pj() * 1e-6;
-      const double e_off = chip_off.execute(w.traces).energy.total_pj() * 1e-6;
+      const auto accel_on = api::make_accelerator(backend, on);
+      const auto accel_off = api::make_accelerator(backend, off);
+      accel_on->load(spec.topology);
+      accel_off->load(spec.topology);
+      const double e_on =
+          api::Pipeline::execute(*accel_on, w.traces, bench::bench_threads())
+              .energy_pj * 1e-6;
+      const double e_off =
+          api::Pipeline::execute(*accel_off, w.traces, bench::bench_threads())
+              .energy_pj * 1e-6;
 
       // Zero-packet probability at run length = MCA size, input layer.
       snn::PacketStats stats;

@@ -2,24 +2,21 @@
 //
 // (a) Classification accuracy vs weight precision {1,2,4,8} bits on all
 //     three datasets, normalised to the 8-bit point (the paper plots
-//     normalised accuracy).  Networks are trained offline (Diehl-style
-//     conversion) on the synthetic datasets at reduced width — training
-//     the paper-scale nets is not needed to reproduce the trend.
+//     normalised accuracy).  Networks are trained offline through the
+//     Pipeline's train path (Diehl-style conversion) at reduced width —
+//     training the paper-scale nets is not needed to reproduce the trend.
 // (b) Energy vs precision for RESPARC (analog reads: ~flat) and the CMOS
 //     baseline (memory + datapath scale with bits: rising), on the MNIST
-//     MLP workload.
+//     MLP workload, with the precision set through BackendOptions.
 #include <iostream>
 
+#include "api/pipeline.hpp"
 #include "bench_util.hpp"
-#include "cmos/falcon.hpp"
 #include "common/csv.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
-#include "core/resparc.hpp"
-#include "data/synthetic.hpp"
 #include "snn/quantize.hpp"
 #include "snn/simulator.hpp"
-#include "train/convert.hpp"
-#include "train/trainer.hpp"
 
 namespace {
 
@@ -38,21 +35,19 @@ int main() {
                    "(normalised to 8 bit)"});
   for (auto kind : {snn::DatasetKind::kMnistLike, snn::DatasetKind::kSvhnLike,
                     snn::DatasetKind::kCifarLike}) {
-    const data::SyntheticOptions opt{
-        .count = 160, .seed = 5, .noise = 0.03, .jitter_pixels = 1.0};
-    // SVHN/CIFAR MLPs consume the 16x16x3 downsampled input (DESIGN.md 3).
-    const data::Dataset ds = kind == snn::DatasetKind::kMnistLike
-                                 ? data::make_synthetic(kind, opt)
-                                 : data::make_synthetic_downsampled(kind, opt);
-    const data::Dataset train_set = ds.take(120);
-    const data::Dataset test_set = ds.drop(120);
-
-    train::Ann ann(snn::small_mlp_topology(kind));
-    Rng rng(6);
-    ann.init_he(rng);
-    train::train(ann, train_set,
-                 {.epochs = 30, .batch_size = 10, .learning_rate = 0.02}, rng);
-    const snn::Network base = train::convert_to_snn(ann, train_set.images);
+    api::PipelineOptions opt;
+    opt.images = 40;           // held-out evaluation split
+    opt.train_images = 120;
+    opt.train = true;
+    opt.record_traces = false;  // only the network + test set are needed
+    opt.timesteps = 48;
+    opt.seed = 5;
+    opt.jitter_pixels = 1.0;
+    opt.threads = bench::bench_threads();
+    api::Workload w = api::Pipeline(opt)
+                          .dataset(kind)
+                          .topology(snn::small_mlp_topology(kind))
+                          .run();
 
     snn::SimConfig cfg;
     cfg.timesteps = 48;
@@ -60,10 +55,11 @@ int main() {
 
     double acc[4] = {};
     for (int i = 0; i < 4; ++i) {
-      snn::Network q = base;
+      snn::Network q = w.network;  // the unquantised converted base
       snn::quantize_network(q, kBits[i]);
-      acc[i] = snn::evaluate_accuracy(q, cfg, test_set.images,
-                                      test_set.labels, rng);
+      Rng rng(6);
+      acc[i] = snn::evaluate_accuracy(q, cfg, w.test.images, w.test.labels,
+                                      rng);
       csv.add_row({"accuracy", snn::to_string(kind),
                    std::to_string(kBits[i]), Table::num(acc[i], 4)});
     }
@@ -84,17 +80,18 @@ int main() {
                  "(uJ, per classification)"});
   std::vector<double> resparc_e, cmos_e;
   for (int bits : kBits) {
-    core::ResparcConfig rc = core::config_with_mca(64);
-    rc.technology.memristor.bits = bits;
-    core::ResparcChip chip(rc);
-    chip.load(w.spec.topology);
-    resparc_e.push_back(chip.execute(w.traces).energy.total_pj() * 1e-6);
+    api::BackendOptions options;
+    options.resparc.technology.memristor.bits = bits;
+    options.cmos.weight_bits = bits;
 
-    cmos::FalconConfig cc;
-    cc.weight_bits = bits;
-    cmos::FalconAccelerator baseline(w.spec.topology, cc);
-    cmos_e.push_back(baseline.run_all(w.traces).energy.total_pj() * 1e-6);
-
+    for (const char* name : {"resparc-64", "cmos"}) {
+      const auto accel = api::make_accelerator(name, options);
+      accel->load(w.topology());
+      const double uj =
+          api::Pipeline::execute(*accel, w.traces, bench::bench_threads())
+              .energy_pj * 1e-6;
+      (std::string(name) == "cmos" ? cmos_e : resparc_e).push_back(uj);
+    }
     csv.add_row({"energy", "RESPARC", std::to_string(bits),
                  Table::num(resparc_e.back(), 4)});
     csv.add_row({"energy", "CMOS", std::to_string(bits),

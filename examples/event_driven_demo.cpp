@@ -3,16 +3,14 @@
 // Shows the zero-check levers working on real spike statistics: MNIST-like
 // images (black background, long zero runs) versus CIFAR-like images
 // (dense colour, short runs), and the resulting energy difference on the
-// same network shape.
+// same network shape.  The workload comes from one Pipeline call; the
+// on/off pair differs only in BackendOptions.
 //
 //   ./event_driven_demo
 #include <cstdio>
 
-#include "common/rng.hpp"
-#include "core/resparc.hpp"
-#include "data/synthetic.hpp"
+#include "api/pipeline.hpp"
 #include "snn/benchmarks.hpp"
-#include "snn/simulator.hpp"
 #include "snn/stats.hpp"
 
 namespace {
@@ -26,30 +24,22 @@ struct DemoResult {
 };
 
 DemoResult run(snn::DatasetKind kind) {
-  const data::SyntheticOptions opt{
-      .count = 3, .seed = 21, .noise = 0.03, .jitter_pixels = 1.0};
-  // The SVHN/CIFAR MLP benchmarks consume the 16x16x3 downsampled input.
-  const data::Dataset ds = kind == snn::DatasetKind::kMnistLike
-                               ? data::make_synthetic(kind, opt)
-                               : data::make_synthetic_downsampled(kind, opt);
-  const snn::Topology topo = snn::small_mlp_topology(kind);
-  snn::Network net(topo);
-  Rng rng(9);
-  net.init_random(rng, 1.0f);
-  snn::SimConfig cfg;
-  cfg.timesteps = 32;
-  snn::calibrate_thresholds(net, ds.images, cfg, rng, 0.10);
-  snn::Simulator sim(net, cfg);
+  api::PipelineOptions opt;
+  opt.images = 3;
+  opt.timesteps = 32;
+  opt.seed = 21;
+  opt.jitter_pixels = 1.0;
+  const api::Workload w = api::Pipeline(opt)
+                              .dataset(kind)
+                              .topology(snn::small_mlp_topology(kind))
+                              .run();
 
   DemoResult result{};
-  std::vector<snn::SpikeTrace> traces;
   snn::PacketStats p32, p64, p128;
-  for (const auto& img : ds.images) {
-    traces.push_back(sim.run(img, rng).trace);
+  for (const auto& trace : w.traces) {
     for (auto [bits, stats] :
          {std::pair{32u, &p32}, {64u, &p64}, {128u, &p128}}) {
-      const snn::PacketStats s =
-          snn::layer_packet_stats(traces.back(), 0, bits);
+      const snn::PacketStats s = snn::layer_packet_stats(trace, 0, bits);
       stats->packets += s.packets;
       stats->zero_packets += s.zero_packets;
     }
@@ -58,18 +48,18 @@ DemoResult run(snn::DatasetKind kind) {
   result.zero64 = p64.zero_fraction();
   result.zero128 = p128.zero_fraction();
 
-  core::ResparcConfig on = core::config_with_mca(32);
-  core::ResparcConfig off = on;
-  off.event_driven = false;
-  core::ResparcChip chip_on(on), chip_off(off);
-  chip_on.load(topo);
-  chip_off.load(topo);
-  const core::RunReport r_on = chip_on.execute(traces);
-  const core::RunReport r_off = chip_off.execute(traces);
-  result.energy_on_uj = r_on.energy.total_pj() * 1e-6;
-  result.energy_off_uj = r_off.energy.total_pj() * 1e-6;
-  result.mca_skips = r_on.events.mca_skips;
-  result.bus_skips = r_on.events.bus_skips;
+  api::BackendOptions off;
+  off.resparc.event_driven = false;
+  const auto accel_on = api::make_accelerator("resparc-32");
+  const auto accel_off = api::make_accelerator("resparc-32", off);
+  accel_on->load(w.topology());
+  accel_off->load(w.topology());
+  const api::ExecutionReport r_on = accel_on->execute(w.traces);
+  const api::ExecutionReport r_off = accel_off->execute(w.traces);
+  result.energy_on_uj = r_on.energy_pj * 1e-6;
+  result.energy_off_uj = r_off.energy_pj * 1e-6;
+  result.mca_skips = r_on.resparc->events.mca_skips;
+  result.bus_skips = r_on.resparc->events.bus_skips;
   return result;
 }
 

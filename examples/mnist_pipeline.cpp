@@ -4,77 +4,52 @@
 //   Diehl weight/threshold balancing -> 4-bit device quantisation ->
 //   spiking inference traces -> RESPARC vs CMOS energy & latency.
 //
+// The whole sequence is the Pipeline's train path; the architecture
+// comparison is one Pipeline::compare call over the recorded traces.
+//
 //   ./mnist_pipeline
 #include <cstdio>
+#include <iostream>
 
-#include "cmos/falcon.hpp"
-#include "common/rng.hpp"
-#include "core/resparc.hpp"
-#include "data/synthetic.hpp"
+#include "api/pipeline.hpp"
 #include "snn/benchmarks.hpp"
-#include "snn/quantize.hpp"
-#include "snn/simulator.hpp"
-#include "train/convert.hpp"
-#include "train/trainer.hpp"
 
 int main() {
   using namespace resparc;
-  Rng rng(7);
 
-  // -- data -----------------------------------------------------------------
-  const data::Dataset ds = data::make_synthetic(
-      snn::DatasetKind::kMnistLike,
-      {.count = 200, .seed = 3, .noise = 0.03, .jitter_pixels = 1.0});
-  const data::Dataset train_set = ds.take(150);
-  const data::Dataset test_set = ds.drop(150);
-  std::printf("dataset: %zu train / %zu test images (%zux%zu)\n",
-              train_set.size(), test_set.size(), ds.shape.h, ds.shape.w);
+  api::PipelineOptions opt;
+  opt.train = true;
+  opt.train_images = 150;     // training split
+  opt.images = 50;            // held-out test split, all traced
+  opt.timesteps = 48;
+  opt.seed = 7;
+  opt.weight_bits = 4;        // 16-level PCM devices (paper section 4.2)
+  opt.jitter_pixels = 1.0;
+  opt.train_config = {.epochs = 30, .batch_size = 10, .learning_rate = 0.02};
 
-  // -- offline training -------------------------------------------------------
-  train::Ann ann(snn::small_mlp_topology(snn::DatasetKind::kMnistLike));
-  ann.init_he(rng);
-  const train::TrainReport report = train::train(
-      ann, train_set, {.epochs = 30, .batch_size = 10, .learning_rate = 0.02},
-      rng);
+  api::Workload w =
+      api::Pipeline(opt)
+          .dataset(snn::DatasetKind::kMnistLike)
+          .topology(snn::small_mlp_topology(snn::DatasetKind::kMnistLike))
+          .run();
+
+  std::printf("dataset: %zu train / %zu test images\n", opt.train_images,
+              w.test.size());
   std::printf("ANN trained: loss %.3f -> %.3f, test accuracy %.1f%%\n",
-              report.epoch_loss.front(), report.epoch_loss.back(),
-              100.0 * train::ann_accuracy(ann, test_set));
+              w.training->epoch_loss.front(), w.training->epoch_loss.back(),
+              100.0 * w.ann_test_accuracy);
+  std::printf("4-bit SNN accuracy over %zu timesteps: %.1f%%\n\n",
+              opt.timesteps, 100.0 * w.accuracy);
 
-  // -- conversion + device quantisation ---------------------------------------
-  snn::Network net = train::convert_to_snn(ann, train_set.images);
-  snn::quantize_network(net, 4);  // 16-level PCM devices (paper section 4.2)
+  // -- architecture comparison: identical traces through both backends ------
+  const std::size_t replay = std::min<std::size_t>(w.traces.size(), 8);
+  const std::vector<std::string> backends{"cmos", "resparc"};
+  const api::ComparisonReport cmp = api::Pipeline::compare(
+      w.topology(), std::span(w.traces.data(), replay), backends);
+  cmp.print(std::cout);
 
-  snn::SimConfig cfg;
-  cfg.timesteps = 48;
-  snn::Simulator sim(net, cfg);
-
-  std::size_t correct = 0;
-  std::vector<snn::SpikeTrace> traces;
-  for (std::size_t i = 0; i < test_set.size(); ++i) {
-    const snn::SimResult r = sim.run(test_set.images[i], rng);
-    if (static_cast<int>(r.predicted_class) == test_set.labels[i]) ++correct;
-    if (traces.size() < 8) traces.push_back(r.trace);
-  }
-  std::printf("4-bit SNN accuracy over %zu timesteps: %.1f%%\n",
-              cfg.timesteps,
-              100.0 * static_cast<double>(correct) /
-                  static_cast<double>(test_set.size()));
-
-  // -- architecture comparison -------------------------------------------------
-  core::ResparcChip chip(core::default_config());
-  chip.load(net.topology());
-  const core::RunReport r = chip.execute(traces);
-
-  cmos::FalconAccelerator baseline(net.topology(), {});
-  const cmos::CmosReport c = baseline.run_all(traces);
-
-  std::printf(
-      "\nRESPARC-64: %.2f nJ per classification, %.2f us latency\n"
-      "CMOS:       %.2f nJ per classification, %.2f us latency\n"
-      "energy gain %.0fx, speedup %.0fx\n",
-      r.energy.total_pj() * 1e-3, r.perf.latency_pipelined_ns() * 1e-3,
-      c.energy.total_pj() * 1e-3, c.latency_ns() * 1e-3,
-      c.energy.total_pj() / r.energy.total_pj(),
-      c.latency_ns() / r.perf.latency_pipelined_ns());
+  const api::ComparisonEntry& r = *cmp.find("resparc");
+  std::printf("\nenergy gain %.0fx, speedup %.0fx\n", r.energy_gain,
+              r.speedup);
   return 0;
 }

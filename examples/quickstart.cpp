@@ -1,82 +1,35 @@
 // Quickstart: the 60-second tour of the RESPARC library.
 //
-// Builds a small spiking MLP, runs it on the behavioral NeuroCell —
-// spikes through real crossbars, CCU current chains and zero-checking
-// switches — verifies bit-exactness against the functional simulator,
-// then maps the same network with the analytic chip model and prints the
-// per-classification energy/latency report.
+// One Pipeline call builds the whole workflow — synthetic MNIST-like
+// data, a calibrated spiking MLP, batched spike-trace simulation — and
+// one Pipeline::compare call replays the identical traces through the
+// memristive RESPARC fabric and the digital CMOS baseline.
 //
 //   ./quickstart
-#include <cstdio>
+#include <iostream>
 
-#include "common/rng.hpp"
-#include "core/neurocell.hpp"
-#include "core/resparc.hpp"
-#include "snn/quantize.hpp"
-#include "snn/simulator.hpp"
+#include "api/pipeline.hpp"
+#include "snn/benchmarks.hpp"
 
 int main() {
   using namespace resparc;
 
-  // -- 1. a small spiking MLP with random weights -------------------------
-  snn::Topology topo("quickstart", Shape3{1, 1, 96},
-                     {snn::LayerSpec::dense(48), snn::LayerSpec::dense(10)});
-  snn::Network net(topo);
-  Rng rng(42);
-  net.init_random(rng, 1.5f);
-  net.layer(0).neuron.v_threshold = 0.4;
-  net.layer(1).neuron.v_threshold = 0.4;
+  api::PipelineOptions opt;
+  opt.images = 4;       // presentations traced
+  opt.timesteps = 24;   // steps per presentation
+  opt.seed = 42;
+  api::Workload w = api::Pipeline(opt).benchmark(snn::mnist_mlp()).run();
+  std::cout << "workload: " << w.topology().summary() << " on "
+            << w.traces.size() << " presentations, mean activity "
+            << w.mean_activity << " spikes/neuron/step\n\n";
 
-  // -- 2. run it on one behavioral NeuroCell ------------------------------
-  core::NeuroCell cell(core::default_config());
-  cell.load(net);
-  std::printf("NeuroCell hosts the %s network on %zu mPEs\n",
-              topo.summary().c_str(), cell.mpes_used());
+  const std::vector<std::string> backends{"cmos", "resparc-64"};
+  const api::ComparisonReport cmp =
+      api::Pipeline::compare(w.topology(), w.traces, backends);
+  cmp.print(std::cout);
 
-  // Functional reference: the same network, quantised exactly like the
-  // 4-bit PCM devices the cell programs.
-  snn::Network reference = net;
-  snn::quantize_network(reference, 4);
-  snn::SimConfig cfg;
-  cfg.timesteps = 24;
-  cfg.encoder.poisson = false;
-  snn::Simulator sim(reference, cfg);
-
-  std::vector<float> image(96);
-  for (auto& p : image) p = static_cast<float>(rng.uniform(0.0, 1.0));
-  const snn::SimResult ref = sim.run(image, rng);
-
-  std::size_t mismatches = 0;
-  cell.reset();
-  for (std::size_t t = 0; t < cfg.timesteps; ++t) {
-    const snn::SpikeVector out = cell.step(ref.trace.layers[0][t]);
-    for (std::size_t i = 0; i < out.size(); ++i)
-      if (out.get(i) != ref.trace.layers[2][t].get(i)) ++mismatches;
-  }
-  const auto counters = cell.counters();
-  std::printf(
-      "behavioral run: %zu crossbar reads, %zu skipped by zero-check,\n"
-      "                %zu CCU transfers, %zu spikes, %zu spike mismatches "
-      "vs functional sim\n",
-      counters.mca_reads, counters.mca_skips, counters.ccu_transfers,
-      counters.neuron_fires, mismatches);
-
-  // -- 3. analytic chip model: energy and latency --------------------------
-  core::ResparcChip chip(core::default_config());
-  const core::Mapping& mapping = chip.load(topo);
-  const core::RunReport report = chip.execute(ref.trace);
-  std::printf(
-      "\nmapping: %zu MCAs on %zu mPEs across %zu NeuroCell(s), "
-      "utilisation %.0f%%\n",
-      mapping.total_mcas, mapping.total_mpes, mapping.total_neurocells,
-      100.0 * mapping.utilization);
-  std::printf(
-      "per classification: %.1f nJ  (neuron %.1f | crossbar %.1f | "
-      "peripherals %.1f)\n",
-      report.energy.total_pj() * 1e-3, report.energy.neuron_pj * 1e-3,
-      report.energy.crossbar_pj * 1e-3, report.energy.peripherals_pj() * 1e-3);
-  std::printf("latency: %.2f us pipelined (%.2f us single image)\n",
-              report.perf.latency_pipelined_ns() * 1e-3,
-              report.perf.latency_serial_ns() * 1e-3);
-  return mismatches == 0 ? 0 : 1;
+  const api::ComparisonEntry& resparc = *cmp.find("resparc-64");
+  std::cout << "\nRESPARC-64 vs CMOS: " << resparc.energy_gain
+            << "x energy gain, " << resparc.speedup << "x speedup\n";
+  return resparc.energy_gain > 1.0 ? 0 : 1;
 }

@@ -3,40 +3,20 @@
 // For two memristive technologies (PCM, Ag-Si) this example filters the
 // candidate MCA sizes by a wire-reliability constraint, maps the MNIST
 // benchmarks at every permitted size, and reports the energy-optimal
-// choice per network (paper contribution #3).
+// choice per network (paper contribution #3).  Traces come from one
+// Pipeline call per benchmark; the size exploration itself is the
+// core::explore_mca_sizes analysis.
 //
 //   ./technology_explorer
 #include <cstdio>
 #include <vector>
 
-#include "common/rng.hpp"
+#include "api/pipeline.hpp"
 #include "core/techaware.hpp"
-#include "data/synthetic.hpp"
 #include "snn/benchmarks.hpp"
-#include "snn/simulator.hpp"
-
-namespace {
-
-using namespace resparc;
-
-std::vector<snn::SpikeTrace> make_traces(const snn::BenchmarkSpec& spec) {
-  const data::Dataset ds = data::make_synthetic(
-      spec.dataset, {.count = 2, .seed = 11, .noise = 0.03, .jitter_pixels = 1.0});
-  snn::Network net(spec.topology);
-  Rng rng(5);
-  net.init_random(rng, 1.0f);
-  snn::SimConfig cfg;
-  cfg.timesteps = 24;
-  snn::calibrate_thresholds(net, ds.images, cfg, rng, 0.10);
-  snn::Simulator sim(net, cfg);
-  std::vector<snn::SpikeTrace> traces;
-  for (const auto& img : ds.images) traces.push_back(sim.run(img, rng).trace);
-  return traces;
-}
-
-}  // namespace
 
 int main() {
+  using namespace resparc;
   const std::vector<std::size_t> sizes{32, 64, 128, 256};
 
   for (const tech::Technology& technology :
@@ -50,11 +30,16 @@ int main() {
     std::printf(" }\n");
 
     for (const auto& spec : {snn::mnist_mlp(), snn::mnist_cnn()}) {
-      const auto traces = make_traces(spec);
+      api::PipelineOptions opt;
+      opt.images = 2;
+      opt.timesteps = 24;
+      opt.seed = 11;
+      const api::Workload w = api::Pipeline(opt).benchmark(spec).run();
+
       core::ResparcConfig base = core::default_config();
       base.technology = technology;
       const core::TechAwareResult result =
-          core::explore_mca_sizes(spec.topology, traces, base, permitted);
+          core::explore_mca_sizes(spec.topology, w.traces, base, permitted);
       std::printf("  %-10s ->", spec.topology.name().c_str());
       for (const auto& c : result.candidates)
         std::printf("  N%-3zu %8.3f uJ (util %4.1f%%)", c.mca_size,

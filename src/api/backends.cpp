@@ -1,0 +1,95 @@
+#include "api/backends.hpp"
+
+#include "common/error.hpp"
+
+namespace resparc::api {
+
+ExecutionReport to_execution_report(const core::RunReport& report,
+                                    std::string backend) {
+  ExecutionReport out;
+  out.backend = std::move(backend);
+  out.classifications = report.classifications;
+  out.energy_pj = report.energy.total_pj();
+  out.latency_ns = report.perf.latency_pipelined_ns();
+  out.throughput_hz = report.perf.throughput_hz();
+  out.energy_breakdown_pj = {
+      {"neuron", report.energy.neuron_pj},
+      {"crossbar", report.energy.crossbar_pj},
+      {"peripherals", report.energy.peripherals_pj()},
+  };
+  out.resparc = report;
+  return out;
+}
+
+ExecutionReport to_execution_report(const cmos::CmosReport& report,
+                                    std::string backend) {
+  ExecutionReport out;
+  out.backend = std::move(backend);
+  out.classifications = report.classifications;
+  out.energy_pj = report.energy.total_pj();
+  out.latency_ns = report.latency_ns();
+  out.throughput_hz = report.throughput_hz();
+  out.energy_breakdown_pj = {
+      {"core", report.energy.core_pj},
+      {"memory_access", report.energy.memory_access_pj},
+      {"memory_leakage", report.energy.memory_leakage_pj},
+  };
+  out.cmos = report;
+  return out;
+}
+
+// ----------------------------------------------------------------- RESPARC --
+
+ResparcBackend::ResparcBackend(core::ResparcConfig config)
+    : chip_(std::move(config)) {}
+
+std::string ResparcBackend::name() const { return chip_.config().label(); }
+
+void ResparcBackend::load(const snn::Topology& topology) {
+  chip_.load(topology);
+}
+
+ExecutionReport ResparcBackend::execute(
+    std::span<const snn::SpikeTrace> traces) const {
+  require(loaded(), "ResparcBackend: no network loaded");
+  return to_execution_report(chip_.execute(traces), name());
+}
+
+AcceleratorMetrics ResparcBackend::metrics() const {
+  const core::NeuroCellMetrics m = core::neurocell_metrics(chip_.config());
+  return {.area_mm2 = m.area_mm2,
+          .power_mw = m.power_mw,
+          .gate_count = m.gate_count,
+          .frequency_mhz = m.frequency_mhz};
+}
+
+// -------------------------------------------------------------------- CMOS --
+
+CmosBackend::CmosBackend(cmos::FalconConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+std::string CmosBackend::name() const { return "CMOS"; }
+
+void CmosBackend::load(const snn::Topology& topology) {
+  accelerator_.reset();  // drop the reference into topology_ first
+  topology_ = topology;
+  accelerator_.emplace(*topology_, config_);
+}
+
+ExecutionReport CmosBackend::execute(
+    std::span<const snn::SpikeTrace> traces) const {
+  require(loaded(), "CmosBackend: no network loaded");
+  return to_execution_report(accelerator_->run_all(traces), name());
+}
+
+AcceleratorMetrics CmosBackend::metrics() const {
+  const cmos::BaselineMetrics m = cmos::baseline_metrics(config_);
+  return {.area_mm2 = m.area_mm2,
+          .power_mw = m.power_mw,
+          .gate_count = m.gate_count,
+          .frequency_mhz = m.frequency_mhz};
+}
+
+}  // namespace resparc::api

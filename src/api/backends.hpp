@@ -1,0 +1,61 @@
+// Built-in Accelerator adapters over the two architecture models.
+//
+// ResparcBackend wraps core::ResparcChip (memristive crossbar fabric,
+// paper sections 3-5); CmosBackend wraps cmos::FalconAccelerator (the
+// aggressively optimised digital baseline of section 4.1).  Both are
+// normally obtained through api::make_accelerator (registry.hpp); the
+// concrete types are public for callers that need architecture-specific
+// accessors such as the crossbar Mapping.
+#pragma once
+
+#include <optional>
+
+#include "api/accelerator.hpp"
+#include "cmos/falcon.hpp"
+#include "core/resparc.hpp"
+
+namespace resparc::api {
+
+/// The memristive RESPARC fabric behind the unified interface.
+class ResparcBackend final : public Accelerator {
+ public:
+  explicit ResparcBackend(core::ResparcConfig config = core::default_config());
+
+  std::string name() const override;  ///< config label, e.g. "RESPARC-64"
+  void load(const snn::Topology& topology) override;
+  bool loaded() const override { return chip_.loaded(); }
+  ExecutionReport execute(
+      std::span<const snn::SpikeTrace> traces) const override;
+  AcceleratorMetrics metrics() const override;
+
+  const core::ResparcConfig& config() const { return chip_.config(); }
+  /// Crossbar mapping of the loaded network (throws when none is loaded).
+  const core::Mapping& mapping() const { return chip_.mapping(); }
+
+ private:
+  core::ResparcChip chip_;
+};
+
+/// The digital CMOS baseline behind the unified interface.
+class CmosBackend final : public Accelerator {
+ public:
+  explicit CmosBackend(cmos::FalconConfig config = {});
+
+  std::string name() const override;  ///< "CMOS"
+  void load(const snn::Topology& topology) override;
+  bool loaded() const override { return accelerator_.has_value(); }
+  ExecutionReport execute(
+      std::span<const snn::SpikeTrace> traces) const override;
+  AcceleratorMetrics metrics() const override;
+
+  const cmos::FalconConfig& config() const { return config_; }
+
+ private:
+  cmos::FalconConfig config_;
+  // FalconAccelerator holds a reference to its topology, so the backend
+  // owns a stable copy for the accelerator to point into.
+  std::optional<snn::Topology> topology_;
+  std::optional<cmos::FalconAccelerator> accelerator_;
+};
+
+}  // namespace resparc::api

@@ -1,0 +1,82 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "api/backends.hpp"
+
+namespace resparc::api {
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, BackendFactory> factories;
+};
+
+Registry& registry() {
+  static Registry instance;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Registry& r = instance;
+    r.factories["resparc"] = [](const BackendOptions& o) {
+      return std::make_unique<ResparcBackend>(o.resparc);
+    };
+    for (const std::size_t mca : {32u, 64u, 128u, 256u}) {
+      r.factories["resparc-" + std::to_string(mca)] =
+          [mca](const BackendOptions& o) {
+            core::ResparcConfig config = o.resparc;
+            config.mca_size = mca;
+            return std::make_unique<ResparcBackend>(config);
+          };
+    }
+    const BackendFactory cmos = [](const BackendOptions& o) {
+      return std::make_unique<CmosBackend>(o.cmos);
+    };
+    r.factories["cmos"] = cmos;
+    r.factories["falcon"] = cmos;
+  });
+  return instance;
+}
+
+}  // namespace
+
+std::unique_ptr<Accelerator> make_accelerator(const std::string& name,
+                                              const BackendOptions& options) {
+  Registry& r = registry();
+  BackendFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.factories.find(name);
+    if (it == r.factories.end()) {
+      std::string known;
+      for (const auto& [key, unused] : r.factories) {
+        if (!known.empty()) known += ", ";
+        known += key;
+      }
+      throw BackendError("unknown backend \"" + name +
+                         "\" (registered: " + known + ")");
+    }
+    factory = it->second;
+  }
+  return factory(options);
+}
+
+void register_backend(const std::string& name, BackendFactory factory) {
+  require(!name.empty(), "register_backend: empty name");
+  require(static_cast<bool>(factory), "register_backend: null factory");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.factories[name] = std::move(factory);
+}
+
+std::vector<std::string> registered_backends() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [key, unused] : r.factories) names.push_back(key);
+  return names;  // std::map iterates sorted
+}
+
+}  // namespace resparc::api

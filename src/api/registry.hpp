@@ -1,0 +1,60 @@
+// String-keyed backend registry: the factory seam of the API layer.
+//
+// Callers name the architecture they want and get an abstract Accelerator:
+//
+//   auto resparc = api::make_accelerator("resparc-64");
+//   auto cmos    = api::make_accelerator("cmos");
+//
+// Built-in names (registered on first use):
+//   "resparc"                  RESPARC at the paper's default operating
+//                              point, honouring options.resparc verbatim
+//   "resparc-32/-64/-128/-256" RESPARC with the MCA size overridden
+//   "cmos", "falcon"           the digital baseline (options.cmos)
+//
+// Future variants (analog-noise crossbars, sharded multi-chip, ...) plug in
+// via register_backend without touching any caller.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/accelerator.hpp"
+#include "cmos/falcon.hpp"
+#include "common/error.hpp"
+#include "core/config.hpp"
+
+namespace resparc::api {
+
+/// Thrown for unknown backend names; the message lists what is registered.
+class BackendError : public Error {
+ public:
+  explicit BackendError(const std::string& what)
+      : Error("backend error: " + what) {}
+};
+
+/// Configuration handed to backend factories.  Each backend reads the slice
+/// it understands and ignores the rest, so one options object can configure
+/// a whole comparison.
+struct BackendOptions {
+  core::ResparcConfig resparc = core::default_config();
+  cmos::FalconConfig cmos{};
+};
+
+/// Factory signature: build an accelerator from shared options.
+using BackendFactory =
+    std::function<std::unique_ptr<Accelerator>(const BackendOptions&)>;
+
+/// Creates the backend registered under `name`; throws BackendError for
+/// unknown names (the message lists the registered ones).
+std::unique_ptr<Accelerator> make_accelerator(const std::string& name,
+                                              const BackendOptions& options = {});
+
+/// Registers (or replaces) a backend under `name`.  Thread-safe.
+void register_backend(const std::string& name, BackendFactory factory);
+
+/// Sorted names of every registered backend.
+std::vector<std::string> registered_backends();
+
+}  // namespace resparc::api

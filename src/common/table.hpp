@@ -1,7 +1,7 @@
 // ASCII table emitter used by the benchmark harnesses.
 //
-// Every figure/table bench prints its rows through this class so the output
-// format (and hence EXPERIMENTS.md) stays uniform.
+// Every figure/table bench prints its rows through this class so the bench
+// output stays uniform across figures.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,66 @@
+// Minimal indexed parallel-for used by the batched pipeline.
+//
+// Work items are claimed from a shared atomic counter, so the assignment of
+// indices to workers is nondeterministic — callers that need deterministic
+// results must make each item independent (own RNG, own output slot) and
+// reduce the pre-sized output sequentially afterwards.  That is exactly the
+// contract api::Pipeline relies on for its thread-count-invariant runs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace resparc {
+
+/// Number of workers actually used for `threads` requested (0 = all
+/// hardware threads, always at least 1, never more than `count`).
+inline std::size_t resolve_threads(std::size_t threads, std::size_t count) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  if (threads > count) threads = count;
+  return threads == 0 ? 1 : threads;
+}
+
+/// Runs fn(i) for every i in [0, count) on up to `threads` workers.
+/// The first exception thrown by any worker is rethrown on the caller.
+template <typename Fn>
+void parallel_for(std::size_t count, std::size_t threads, Fn&& fn) {
+  if (count == 0) return;
+  threads = resolve_threads(threads, count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace resparc

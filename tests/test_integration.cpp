@@ -1,6 +1,6 @@
 // Integration tests: the paper's headline shapes on reduced-scale runs.
 // These are the cheap, always-on versions of the claims the benches
-// reproduce at paper scale (see EXPERIMENTS.md).
+// reproduce at paper scale (see bench/ and DESIGN.md section 6).
 #include <gtest/gtest.h>
 
 #include "cmos/falcon.hpp"
