@@ -23,7 +23,10 @@ int main() {
             << w.traces.size() << " presentations, mean activity "
             << w.mean_activity << " spikes/neuron/step\n\n";
 
-  const std::vector<std::string> backends{"cmos", "resparc-64"};
+  // Backend keys accept a "/<strategy>" suffix selecting how the compile
+  // layer maps the network onto the crossbars (DESIGN.md section 9).
+  const std::vector<std::string> backends{"cmos", "resparc-64",
+                                          "resparc-64/greedy-pack"};
   const api::ComparisonReport cmp =
       api::Pipeline::compare(w.topology(), w.traces, backends);
   cmp.print(std::cout);

@@ -92,6 +92,12 @@ class Accelerator {
 
   /// Implementation metrics of one tile (area/power/gates/frequency).
   virtual AcceleratorMetrics metrics() const = 0;
+
+  /// True when this backend compiles topologies through the mapping-
+  /// strategy layer (honours BackendOptions::strategy and "/<strategy>"
+  /// registry-key suffixes).  The registry rejects a strategy suffix on
+  /// backends that return false instead of silently ignoring it.
+  virtual bool supports_mapping_strategies() const { return false; }
 };
 
 /// Converts a native RESPARC report to the unified form.

@@ -1,6 +1,9 @@
 #include "api/backends.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
+#include "compile/compiler.hpp"
 
 namespace resparc::api {
 
@@ -40,13 +43,25 @@ ExecutionReport to_execution_report(const cmos::CmosReport& report,
 
 // ----------------------------------------------------------------- RESPARC --
 
-ResparcBackend::ResparcBackend(core::ResparcConfig config)
-    : chip_(std::move(config)) {}
+ResparcBackend::ResparcBackend(core::ResparcConfig config, std::string strategy)
+    : chip_(std::move(config)), strategy_(std::move(strategy)) {
+  require(!strategy_.empty(), "ResparcBackend: empty strategy name");
+}
 
-std::string ResparcBackend::name() const { return chip_.config().label(); }
+std::string ResparcBackend::name() const {
+  const std::string& s = strategy();  // the loaded program's, once loaded
+  return s == "paper" ? chip_.config().label()
+                      : chip_.config().label() + "/" + s;
+}
 
 void ResparcBackend::load(const snn::Topology& topology) {
-  chip_.load(topology);
+  chip_.load(topology,
+             compile::Compiler(chip_.config()).compile(topology, strategy_));
+}
+
+void ResparcBackend::load_program(const snn::Topology& topology,
+                                  compile::CompiledProgram program) {
+  chip_.load(topology, std::move(program));
 }
 
 ExecutionReport ResparcBackend::execute(

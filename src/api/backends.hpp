@@ -9,31 +9,54 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "api/accelerator.hpp"
 #include "cmos/falcon.hpp"
+#include "compile/program.hpp"
 #include "core/resparc.hpp"
 
 namespace resparc::api {
 
-/// The memristive RESPARC fabric behind the unified interface.
+/// The memristive RESPARC fabric behind the unified interface.  `load`
+/// compiles the topology with the configured mapping strategy
+/// (compile/strategy.hpp); a pre-compiled or deserialized
+/// compile::CompiledProgram loads directly via load_program.
 class ResparcBackend final : public Accelerator {
  public:
-  explicit ResparcBackend(core::ResparcConfig config = core::default_config());
+  explicit ResparcBackend(core::ResparcConfig config = core::default_config(),
+                          std::string strategy = "paper");
 
-  std::string name() const override;  ///< config label, e.g. "RESPARC-64"
+  /// Config label, e.g. "RESPARC-64"; non-default strategies append
+  /// "/<strategy>" ("RESPARC-64/greedy-pack").
+  std::string name() const override;
   void load(const snn::Topology& topology) override;
   bool loaded() const override { return chip_.loaded(); }
   ExecutionReport execute(
       std::span<const snn::SpikeTrace> traces) const override;
   AcceleratorMetrics metrics() const override;
+  bool supports_mapping_strategies() const override { return true; }
+
+  /// Hosts a compiled artifact (fingerprint-checked against this config);
+  /// strategy() and name() then reflect the program's strategy.
+  void load_program(const snn::Topology& topology,
+                    compile::CompiledProgram program);
 
   const core::ResparcConfig& config() const { return chip_.config(); }
+  /// Strategy of the loaded program; before any load, the configured
+  /// policy ("auto" resolves to the winning strategy once loaded — the
+  /// configured policy itself is immutable, so every load() re-selects).
+  const std::string& strategy() const {
+    return chip_.loaded() ? chip_.program().strategy : strategy_;
+  }
   /// Crossbar mapping of the loaded network (throws when none is loaded).
   const core::Mapping& mapping() const { return chip_.mapping(); }
+  /// Compiled program of the loaded network (throws when none is loaded).
+  const compile::CompiledProgram& program() const { return chip_.program(); }
 
  private:
   core::ResparcChip chip_;
+  std::string strategy_;
 };
 
 /// The digital CMOS baseline behind the unified interface.

@@ -130,7 +130,11 @@ class Pipeline {
                                  std::size_t threads = 0);
 
   /// Runs the same traces through every named backend (first = reference
-  /// baseline for the ratio columns).
+  /// baseline for the ratio columns).  Backend names accept the registry's
+  /// "/<strategy>" suffix ("resparc-64/greedy-pack"), so one comparison
+  /// can pit mapping strategies against each other as easily as
+  /// architectures; options.strategy selects the default for keys without
+  /// a suffix.
   static ComparisonReport compare(const snn::Topology& topology,
                                   std::span<const snn::SpikeTrace> traces,
                                   std::span<const std::string> backends,

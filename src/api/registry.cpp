@@ -1,82 +1,99 @@
 #include "api/registry.hpp"
 
-#include <algorithm>
-#include <map>
 #include <mutex>
+#include <optional>
 
 #include "api/backends.hpp"
+#include "common/registry.hpp"
+#include "compile/strategy.hpp"
 
 namespace resparc::api {
 namespace {
 
-struct Registry {
-  std::mutex mutex;
-  std::map<std::string, BackendFactory> factories;
-};
-
-Registry& registry() {
-  static Registry instance;
+NamedRegistry<BackendFactory>& registry() {
+  static NamedRegistry<BackendFactory> instance;
   static std::once_flag once;
   std::call_once(once, [] {
-    Registry& r = instance;
-    r.factories["resparc"] = [](const BackendOptions& o) {
-      return std::make_unique<ResparcBackend>(o.resparc);
-    };
+    instance.set("resparc", [](const BackendOptions& o) {
+      return std::make_unique<ResparcBackend>(o.resparc, o.strategy);
+    });
     for (const std::size_t mca : {32u, 64u, 128u, 256u}) {
-      r.factories["resparc-" + std::to_string(mca)] =
-          [mca](const BackendOptions& o) {
-            core::ResparcConfig config = o.resparc;
-            config.mca_size = mca;
-            return std::make_unique<ResparcBackend>(config);
-          };
+      instance.set("resparc-" + std::to_string(mca),
+                   [mca](const BackendOptions& o) {
+                     core::ResparcConfig config = o.resparc;
+                     config.mca_size = mca;
+                     return std::make_unique<ResparcBackend>(config, o.strategy);
+                   });
     }
     const BackendFactory cmos = [](const BackendOptions& o) {
       return std::make_unique<CmosBackend>(o.cmos);
     };
-    r.factories["cmos"] = cmos;
-    r.factories["falcon"] = cmos;
+    instance.set("cmos", cmos);
+    instance.set("falcon", cmos);
   });
   return instance;
+}
+
+std::string strategies_list() {
+  return join_names(compile::registered_strategies()) + ", auto";
 }
 
 }  // namespace
 
 std::unique_ptr<Accelerator> make_accelerator(const std::string& name,
                                               const BackendOptions& options) {
-  Registry& r = registry();
-  BackendFactory factory;
-  {
-    std::lock_guard<std::mutex> lock(r.mutex);
-    const auto it = r.factories.find(name);
-    if (it == r.factories.end()) {
-      std::string known;
-      for (const auto& [key, unused] : r.factories) {
-        if (!known.empty()) known += ", ";
-        known += key;
-      }
-      throw BackendError("unknown backend \"" + name +
-                         "\" (registered: " + known + ")");
-    }
-    factory = it->second;
+  NamedRegistry<BackendFactory>& r = registry();
+
+  // An exactly registered name always wins (register_backend places no
+  // restriction on '/' in names); otherwise split an optional
+  // "/<strategy>" suffix: "resparc-64/greedy-pack".
+  std::optional<BackendFactory> factory = r.find(name);
+  std::string strategy;  // suffix override; empty = honour options.strategy
+  if (!factory) {
+    const std::size_t slash = name.find('/');
+    const std::string base = name.substr(0, slash);
+    strategy = slash == std::string::npos ? std::string() : name.substr(slash + 1);
+    if (slash != std::string::npos && strategy.empty())
+      throw BackendError("empty mapping strategy in \"" + name +
+                         "\" (strategies: " + strategies_list() + ")");
+    factory = r.find(base);
+    if (!factory)
+      throw BackendError("unknown backend \"" + base + "\" (registered: " +
+                         join_names(r.names()) +
+                         "; strategies: " + strategies_list() + ")");
   }
-  return factory(options);
+
+  // Whichever channel chose the strategy (suffix or options), a typo must
+  // surface here as BackendError, not later at load() time.
+  const std::string& effective = strategy.empty() ? options.strategy : strategy;
+  if (effective.empty())
+    throw BackendError("empty options.strategy for \"" + name +
+                       "\" (strategies: " + strategies_list() + ")");
+  if (effective != "auto" && !compile::strategy_exists(effective))
+    throw BackendError("unknown mapping strategy \"" + effective +
+                       "\" in \"" + name +
+                       "\" (strategies: " + strategies_list() + ")");
+
+  if (strategy.empty()) return (*factory)(options);
+
+  BackendOptions with_strategy = options;
+  with_strategy.strategy = strategy;
+  auto accelerator = (*factory)(with_strategy);
+  // A suffix on a backend that has no compile step would be silently
+  // ignored — reject it instead.
+  if (!accelerator->supports_mapping_strategies())
+    throw BackendError("backend \"" + name.substr(0, name.find('/')) +
+                       "\" does not support mapping strategies (\"" + name +
+                       "\")");
+  return accelerator;
 }
 
 void register_backend(const std::string& name, BackendFactory factory) {
   require(!name.empty(), "register_backend: empty name");
   require(static_cast<bool>(factory), "register_backend: null factory");
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
-  r.factories[name] = std::move(factory);
+  registry().set(name, std::move(factory));
 }
 
-std::vector<std::string> registered_backends() {
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
-  std::vector<std::string> names;
-  names.reserve(r.factories.size());
-  for (const auto& [key, unused] : r.factories) names.push_back(key);
-  return names;  // std::map iterates sorted
-}
+std::vector<std::string> registered_backends() { return registry().names(); }
 
 }  // namespace resparc::api

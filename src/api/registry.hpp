@@ -3,6 +3,7 @@
 // Callers name the architecture they want and get an abstract Accelerator:
 //
 //   auto resparc = api::make_accelerator("resparc-64");
+//   auto greedy  = api::make_accelerator("resparc-64/greedy-pack");
 //   auto cmos    = api::make_accelerator("cmos");
 //
 // Built-in names (registered on first use):
@@ -10,6 +11,12 @@
 //                              point, honouring options.resparc verbatim
 //   "resparc-32/-64/-128/-256" RESPARC with the MCA size overridden
 //   "cmos", "falcon"           the digital baseline (options.cmos)
+//
+// Any RESPARC key accepts a "/<strategy>" suffix selecting the mapping
+// strategy the compile layer uses (compile/strategy.hpp: "paper",
+// "greedy-pack", "balanced", "auto", plus anything added through
+// compile::register_strategy); the same choice is available
+// programmatically through BackendOptions::strategy.
 //
 // Future variants (analog-noise crossbars, sharded multi-chip, ...) plug in
 // via register_backend without touching any caller.
@@ -40,14 +47,20 @@ class BackendError : public Error {
 struct BackendOptions {
   core::ResparcConfig resparc = core::default_config();
   cmos::FalconConfig cmos{};
+  /// Mapping strategy for crossbar backends ("paper", "greedy-pack",
+  /// "balanced", "auto", ...).  A "/<strategy>" key suffix overrides this.
+  /// Backends without a compile step (the CMOS baseline) ignore it.
+  std::string strategy = "paper";
 };
 
 /// Factory signature: build an accelerator from shared options.
 using BackendFactory =
     std::function<std::unique_ptr<Accelerator>(const BackendOptions&)>;
 
-/// Creates the backend registered under `name`; throws BackendError for
-/// unknown names (the message lists the registered ones).
+/// Creates the backend registered under `name`; an optional "/<strategy>"
+/// suffix (e.g. "resparc-64/greedy-pack") selects the mapping strategy.
+/// Throws BackendError for unknown backend names or strategies — the
+/// message lists the registered backends and strategies.
 std::unique_ptr<Accelerator> make_accelerator(const std::string& name,
                                               const BackendOptions& options = {});
 

@@ -1,0 +1,13 @@
+// Small integer helpers shared across the mapping and compile layers.
+#pragma once
+
+#include <cstddef>
+
+namespace resparc {
+
+/// ceil(a / b) for non-negative integers (b > 0).
+inline constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace resparc

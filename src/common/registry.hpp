@@ -1,0 +1,64 @@
+// Thread-safe string-keyed factory registry.
+//
+// The backend registry (api/registry.cpp) and the mapping-strategy registry
+// (compile/strategy.cpp) share this one implementation: a mutex-guarded
+// sorted map whose lock covers only map access — factories run outside it,
+// so a factory may itself consult a registry without deadlocking.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace resparc {
+
+template <typename Factory>
+class NamedRegistry {
+ public:
+  /// Registers (or replaces) the factory under `name`.
+  void set(const std::string& name, Factory factory) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    factories_[name] = std::move(factory);
+  }
+
+  /// The factory registered under `name`, or nullopt.
+  std::optional<Factory> find(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.count(name) > 0;
+  }
+
+  /// Sorted names of every registered factory.
+  std::vector<std::string> names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [key, unused] : factories_) out.push_back(key);
+    return out;  // std::map iterates sorted
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// "a, b, c" — for exception messages listing registered names.
+inline std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace resparc

@@ -1,0 +1,85 @@
+#include "compile/compiler.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "compile/cost_model.hpp"
+
+namespace resparc::compile {
+
+namespace {
+
+/// Legalize pass: every layer must be non-empty and physically mappable
+/// onto the configured fabric (a dense/conv column always fits — columns
+/// tile freely — but each output neuron's rows must be reachable within
+/// the time-multiplex scheme, which only requires a positive MCA size;
+/// what can fail is an empty layer or an impossible shape).
+void legalize_pass(const snn::Topology& topology,
+                   const core::ResparcConfig& config) {
+  config.validate();
+  for (std::size_t l = 0; l < topology.layer_count(); ++l) {
+    const snn::LayerInfo& li = topology.layers()[l];
+    if (li.neurons == 0)
+      throw MappingError("legalize: layer " + std::to_string(l) +
+                               " has zero neurons");
+    if (li.fan_in == 0)
+      throw MappingError("legalize: layer " + std::to_string(l) +
+                               " has zero fan-in");
+  }
+}
+
+}  // namespace
+
+Compiler::Compiler(core::ResparcConfig config, CompileOptions options)
+    : config_(std::move(config)), options_(options) {
+  config_.validate();
+}
+
+CompiledProgram Compiler::run_passes(const snn::Topology& topology,
+                                     const MappingStrategy& strategy) const {
+  // -- legalize --------------------------------------------------------------
+  legalize_pass(topology, config_);
+
+  CompiledProgram program;
+  program.strategy = strategy.name();
+  program.topology_name = topology.name();
+  program.topology_summary = topology.summary();
+  program.config_fingerprint = config_.fingerprint();
+  program.mapping.config = config_;
+
+  // -- tile ------------------------------------------------------------------
+  for (std::size_t l = 0; l < topology.layer_count(); ++l)
+    program.mapping.layers.push_back(
+        strategy.tile(topology.layers()[l], l, config_));
+
+  // -- place -----------------------------------------------------------------
+  strategy.place(program.mapping, config_);
+
+  // -- route-estimate --------------------------------------------------------
+  program.cost = estimate_cost(topology, program.mapping, options_.activity);
+  program.report = utilization_report(topology, program.mapping);
+  return program;
+}
+
+CompiledProgram Compiler::compile(const snn::Topology& topology,
+                                  const std::string& strategy) const {
+  if (strategy == "auto") return compile_best(topology);
+  return run_passes(topology, *make_strategy(strategy));
+}
+
+CompiledProgram Compiler::compile_best(const snn::Topology& topology) const {
+  CompiledProgram best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const std::string& name : registered_strategies()) {
+    CompiledProgram candidate = run_passes(topology, *make_strategy(name));
+    if (candidate.cost.score() < best_score) {
+      best_score = candidate.cost.score();
+      best = std::move(candidate);
+    }
+  }
+  require(std::isfinite(best_score), "compile_best: no registered strategies");
+  return best;
+}
+
+}  // namespace resparc::compile

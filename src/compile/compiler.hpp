@@ -1,0 +1,63 @@
+// Compiler: lowers an SNN topology onto the MCA fabric as a pass pipeline.
+//
+// Where core::map_network is one hard-wired algorithm, the compiler makes
+// the topology→fabric seam explicit and pluggable:
+//
+//   legalize        validate the topology against the configuration
+//                   (non-empty layers, every layer physically mappable)
+//   tile            strategy: cut each layer into MCA groups
+//   place           strategy: assign MCAs to mPEs and NeuroCells
+//   route-estimate  count serial-bus boundaries and score the candidate
+//                   with the analytic cost model (cost_model.hpp)
+//
+// and emits a CompiledProgram — a serializable artifact that
+// ResparcChip/api::ResparcBackend load directly:
+//
+//   compile::Compiler compiler(config);
+//   auto program = compiler.compile(topology, "greedy-pack");
+//   chip.load(topology, program);
+//
+// compile(topology, "auto") scores every registered strategy and keeps the
+// lowest energy-delay product.
+#pragma once
+
+#include <string>
+
+#include "compile/program.hpp"
+#include "compile/strategy.hpp"
+#include "core/config.hpp"
+#include "snn/topology.hpp"
+
+namespace resparc::compile {
+
+/// Compilation knobs beyond the strategy choice.
+struct CompileOptions {
+  /// Assumed spikes/neuron/step for the analytic cost model.
+  double activity = 0.10;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(core::ResparcConfig config, CompileOptions options = {});
+
+  const core::ResparcConfig& config() const { return config_; }
+
+  /// Runs the pass pipeline with the named strategy ("auto" selects the
+  /// best-scoring registered strategy).  Throws CompileError for unknown
+  /// strategies and MappingError when the topology cannot be lowered.
+  CompiledProgram compile(const snn::Topology& topology,
+                          const std::string& strategy = "paper") const;
+
+  /// Compiles with every registered strategy and returns the program with
+  /// the lowest cost score (energy-delay product per timestep).
+  CompiledProgram compile_best(const snn::Topology& topology) const;
+
+ private:
+  CompiledProgram run_passes(const snn::Topology& topology,
+                             const MappingStrategy& strategy) const;
+
+  core::ResparcConfig config_;
+  CompileOptions options_;
+};
+
+}  // namespace resparc::compile

@@ -1,0 +1,138 @@
+#include "compile/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/executor.hpp"
+#include "tech/memristor.hpp"
+#include "tech/sram.hpp"
+
+namespace resparc::compile {
+
+using core::kBusCyclesPerWord;
+using core::LayerMapping;
+using core::Mapping;
+using core::McaGroup;
+
+namespace {
+
+std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
+
+/// Expected number of non-zero 64-bit words of a spike vector whose bits
+/// are independently set with probability `activity` — what the zero-check
+/// logic forwards in event-driven mode.
+double expected_sent_words(std::size_t words, double activity,
+                           bool event_driven) {
+  if (!event_driven) return static_cast<double>(words);
+  const double p_zero_word = std::pow(1.0 - activity, 64.0);
+  return static_cast<double>(words) * (1.0 - p_zero_word);
+}
+
+}  // namespace
+
+CostEstimate estimate_cost(const snn::Topology& topology,
+                           const core::Mapping& mapping,
+                           double activity) {
+  require(topology.layer_count() == mapping.layers.size(),
+          "estimate_cost: mapping does not match topology");
+  require(activity > 0.0 && activity <= 1.0,
+          "estimate_cost: activity must be in (0,1]");
+
+  const core::ResparcConfig& cfg = mapping.config;
+  const tech::Technology& t = cfg.technology;
+  const tech::DigitalCosts& d = t.digital;
+  const tech::Memristor device{t.memristor};
+  const double cell_pj = device.mean_cell_read_energy_pj();
+  const double cell_off_pj = device.cell_read_energy_pj(device.g_min());
+  const double sneak = device.params().sneak_leak_fraction;
+  const tech::SramModel sram{
+      {.capacity_bytes = cfg.input_sram_bytes, .word_bits = 64}};
+  const std::size_t N = cfg.mca_size;
+
+  double energy_pj = 0.0;
+  double stage_max = 0.0;
+  std::size_t bus_boundaries = 0;
+
+  // -- input broadcast from the SRAM ----------------------------------------
+  {
+    const std::size_t words = word_count(topology.input_neurons());
+    const double sent = expected_sent_words(words, activity, cfg.event_driven);
+    energy_pj += sent * (sram.read_energy_pj() + sram.write_energy_pj() +
+                         d.bus_word_pj);
+    stage_max = std::max(stage_max, kBusCyclesPerWord * sent);
+    ++bus_boundaries;
+  }
+
+  for (std::size_t l = 0; l < topology.layer_count(); ++l) {
+    const snn::LayerInfo& li = topology.layers()[l];
+    const LayerMapping& lm = mapping.layers[l];
+
+    // -- crossbar reads + per-array periphery -------------------------------
+    for (const McaGroup& g : lm.groups) {
+      const double driven_rows =
+          activity * static_cast<double>(g.rows_used * g.mca_count);
+      const double driven_cells = driven_rows * static_cast<double>(N);
+      const double used_cells = activity * static_cast<double>(g.synapses);
+      energy_pj += used_cells * cell_pj +
+                   std::max(0.0, driven_cells - used_cells) * cell_off_pj;
+      if (sneak > 0.0) {
+        const double total_cells = static_cast<double>(g.mca_count) *
+                                   static_cast<double>(N * N);
+        energy_pj +=
+            sneak * std::max(0.0, total_cells - driven_cells) * cell_off_pj;
+      }
+      energy_pj += static_cast<double>(g.mca_count) * d.mca_control_pj +
+                   static_cast<double>(g.mca_count * N) *
+                       (d.column_interface_pj + d.buffer_bit_pj);
+      energy_pj +=
+          static_cast<double>(g.cols_used) * d.neuron_integrate_pj;
+    }
+
+    // -- neuron firing + time-multiplex transfers ---------------------------
+    energy_pj += activity * static_cast<double>(li.neurons) * d.neuron_fire_pj;
+    energy_pj += static_cast<double>(li.neurons * lm.ccu_transfers_per_neuron) *
+                 d.ccu_transfer_pj;
+
+    // -- output transfer toward the next layer ------------------------------
+    const std::size_t words = word_count(li.neurons);
+    const double sent = expected_sent_words(words, activity, cfg.event_driven);
+    const bool via_bus = l + 1 < topology.layer_count()
+                             ? mapping.boundary_uses_bus(l + 1)
+                             : true;  // final outputs leave on the bus
+    if (via_bus) {
+      energy_pj += sent * (d.bus_word_pj + sram.read_energy_pj() +
+                           sram.write_energy_pj()) +
+                   d.gcu_event_pj;
+      ++bus_boundaries;
+    } else {
+      energy_pj += sent * d.switch_flit_pj;
+    }
+    energy_pj +=
+        sent * static_cast<double>(2 * t.flit_bits + 16) * d.buffer_bit_pj;
+
+    const double compute_c = static_cast<double>(lm.mux_cycles) + 1.0;
+    const double transfer_c =
+        via_bus ? kBusCyclesPerWord * sent
+                : std::ceil(sent / static_cast<double>(cfg.nc_dim));
+    stage_max = std::max(stage_max, std::max(compute_c, transfer_c));
+  }
+
+  // -- leakage over one steady-state (pipelined) step ------------------------
+  const double leak_w =
+      static_cast<double>(mapping.total_mcas * N) * d.mca_column_leak_w +
+      sram.leakage_w();
+  const double step_ns = stage_max * 1e3 / t.resparc_clock_mhz;
+  energy_pj += leak_w * step_ns * 1e3;  // W*ns -> pJ
+
+  CostEstimate cost;
+  cost.energy_pj_per_step = energy_pj;
+  cost.cycles_per_step = stage_max;
+  cost.utilization = mapping.utilization;
+  cost.bus_boundaries = bus_boundaries;
+  cost.total_mcas = mapping.total_mcas;
+  cost.total_neurocells = mapping.total_neurocells;
+  cost.activity = activity;
+  return cost;
+}
+
+}  // namespace resparc::compile

@@ -1,0 +1,25 @@
+// Analytic cost model: scores a candidate mapping without spike traces.
+//
+// Mirrors the executor's event accounting (core/executor.cpp, DESIGN.md
+// section 7) but replaces recorded per-step spike counts with one assumed
+// activity factor (spikes/neuron/step), so candidates can be ranked at
+// compile time in microseconds instead of replaying presentations.  All
+// energies come from the same technology tables (tech::DigitalCosts,
+// tech::Memristor, tech::SramModel) the executor charges, so the estimate
+// tracks the measured numbers to first order — it is a *ranking* signal,
+// not a substitute for trace-driven execution.
+#pragma once
+
+#include "compile/program.hpp"
+#include "core/mapper.hpp"
+#include "snn/topology.hpp"
+
+namespace resparc::compile {
+
+/// Estimates per-timestep energy and pipelined cycles of `mapping` at a
+/// uniform spike `activity` (fraction of neurons spiking each step).
+CostEstimate estimate_cost(const snn::Topology& topology,
+                           const core::Mapping& mapping,
+                           double activity = 0.10);
+
+}  // namespace resparc::compile

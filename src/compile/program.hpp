@@ -1,0 +1,100 @@
+// CompiledProgram: the self-contained artifact emitted by compile::Compiler.
+//
+// A program bundles everything `ResparcChip`/`api::ResparcBackend` need to
+// host a network — the crossbar Mapping, the fingerprint of the config it
+// was compiled for, the strategy that produced it, an analytic cost
+// estimate and a per-layer utilisation report — so a network compiled once
+// can be executed many times or round-tripped through a file:
+//
+//   compile::Compiler compiler(config);
+//   compile::CompiledProgram p = compiler.compile(topology, "greedy-pack");
+//   p.save_file("mnist.rcp");
+//   ...
+//   auto q = compile::CompiledProgram::load_file("mnist.rcp", config);
+//   chip.load(topology, q);   // rejects if config fingerprint differs
+//
+// The on-disk format is a versioned line-oriented text format; doubles are
+// written as hexfloats so a round trip is bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/config.hpp"
+#include "core/mapper.hpp"
+#include "snn/topology.hpp"
+
+namespace resparc::compile {
+
+/// Thrown when a serialized program is malformed or does not match the
+/// configuration it is being loaded against.
+class CompileError : public Error {
+ public:
+  explicit CompileError(const std::string& what)
+      : Error("compile error: " + what) {}
+};
+
+/// One row of the per-layer utilisation report.
+struct LayerUtilization {
+  std::size_t layer = 0;
+  std::string kind;            ///< "dense" / "conv" / "avgpool"
+  std::size_t mcas = 0;
+  std::size_t mpes = 0;
+  std::size_t synapses = 0;
+  double utilization = 0.0;    ///< synapses / (mcas * N^2)
+};
+
+/// Analytic score of one candidate mapping (cost_model.hpp): estimated
+/// per-timestep energy and cycles at an assumed input activity, plus the
+/// static quantities the estimate derives from.
+struct CostEstimate {
+  double energy_pj_per_step = 0.0;   ///< estimated energy per timestep
+  double cycles_per_step = 0.0;      ///< estimated pipelined cycles/timestep
+  double utilization = 0.0;          ///< whole-chip crossbar utilisation
+  std::size_t bus_boundaries = 0;    ///< layer boundaries on the serial bus
+  std::size_t total_mcas = 0;
+  std::size_t total_neurocells = 0;
+  double activity = 0.0;             ///< assumed spikes/neuron/step
+
+  /// Scalar used to rank candidates: energy-delay product per timestep.
+  double score() const { return energy_pj_per_step * cycles_per_step; }
+};
+
+/// The compiler's output artifact.
+struct CompiledProgram {
+  std::string strategy;              ///< registry key that produced it
+  std::string topology_name;
+  std::string topology_summary;      ///< Topology::summary(), checked on load
+  std::uint64_t config_fingerprint = 0;
+  core::Mapping mapping;
+  CostEstimate cost;
+  std::vector<LayerUtilization> report;
+
+  /// Writes the program in the versioned text format.
+  void save(std::ostream& os) const;
+  /// Convenience: save(ofstream); returns false when the file cannot be
+  /// opened or written.
+  bool save_file(const std::string& path) const;
+
+  /// Parses a program and binds it to `config`: throws CompileError when
+  /// the stream is malformed or config.fingerprint() does not equal the
+  /// recorded fingerprint.  On success mapping.config == config.
+  static CompiledProgram load(std::istream& is,
+                              const core::ResparcConfig& config);
+  static CompiledProgram load_file(const std::string& path,
+                                   const core::ResparcConfig& config);
+
+  /// Checks the program against the network it claims to implement:
+  /// layer count and per-layer synapse totals must match.  Throws
+  /// CompileError on mismatch.
+  void check_matches(const snn::Topology& topology) const;
+};
+
+/// Builds the per-layer utilisation report from a finished mapping.
+std::vector<LayerUtilization> utilization_report(const snn::Topology& topology,
+                                                 const core::Mapping& mapping);
+
+}  // namespace resparc::compile

@@ -1,0 +1,225 @@
+#include "compile/strategy.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/math.hpp"
+#include "common/registry.hpp"
+#include "compile/program.hpp"
+
+namespace resparc::compile {
+
+using core::LayerMapping;
+using core::Mapping;
+using core::McaGroup;
+using core::ResparcConfig;
+using core::SliceKind;
+using snn::LayerInfo;
+using snn::LayerKind;
+
+namespace {
+
+// -------------------------------------------------------------- placements --
+
+/// Greedy packing: MCAs fill mPEs continuously across layer boundaries, so
+/// a partially filled mPE hosts the tail of one layer and the head of the
+/// next.  Per-layer mpe_count is the number of mPEs the layer *touches*
+/// (shared mPEs are counted by both neighbours).
+void place_packed(Mapping& m, const ResparcConfig& cfg) {
+  const std::size_t per_nc = cfg.mpes_per_neurocell();
+  const std::size_t N = cfg.mca_size;
+  std::size_t mca_offset = 0;
+  std::size_t synapses = 0;
+  for (LayerMapping& lm : m.layers) {
+    const std::size_t first_mpe = mca_offset / cfg.mcas_per_mpe;
+    const std::size_t last_mpe =
+        (mca_offset + lm.mca_count - 1) / cfg.mcas_per_mpe;
+    lm.first_mpe = first_mpe;
+    // Overrides the tiled (fresh-mPE) mpe_count: under cross-layer packing
+    // a layer's count is the mPEs it *touches*, shared ones included.
+    lm.mpe_count = last_mpe - first_mpe + 1;
+    lm.first_nc = first_mpe / per_nc;
+    lm.last_nc = last_mpe / per_nc;
+    mca_offset += lm.mca_count;
+    synapses += lm.synapses;
+  }
+  m.total_mcas = mca_offset;
+  m.total_mpes = ceil_div(mca_offset, cfg.mcas_per_mpe);
+  m.total_neurocells = ceil_div(m.total_mpes, per_nc);
+  m.utilization = static_cast<double>(synapses) /
+                  (static_cast<double>(m.total_mcas) * static_cast<double>(N * N));
+}
+
+/// NeuroCell-aligned placement: a layer that would straddle a NeuroCell
+/// boundary but fits in a whole NeuroCell is pushed to the next boundary.
+/// Consecutive small layers then share one NeuroCell, and their boundary
+/// traffic stays on the switch fabric instead of the serial global bus.
+void place_aligned(Mapping& m, const ResparcConfig& cfg) {
+  const std::size_t per_nc = cfg.mpes_per_neurocell();
+  const std::size_t N = cfg.mca_size;
+  std::size_t next_mpe = 0;
+  std::size_t synapses = 0;
+  m.total_mcas = 0;
+  for (LayerMapping& lm : m.layers) {
+    // lm.mpe_count keeps the tiled (fresh-mPE) value; only the start moves.
+    const std::size_t nc_end = (next_mpe / per_nc + 1) * per_nc;
+    if (next_mpe + lm.mpe_count > nc_end && lm.mpe_count <= per_nc)
+      next_mpe = nc_end;  // align: whole layer inside one fresh NeuroCell
+    lm.first_mpe = next_mpe;
+    next_mpe += lm.mpe_count;
+    lm.first_nc = lm.first_mpe / per_nc;
+    lm.last_nc = (lm.first_mpe + lm.mpe_count - 1) / per_nc;
+    m.total_mcas += lm.mca_count;
+    synapses += lm.synapses;
+  }
+  m.total_mpes = next_mpe;
+  m.total_neurocells = ceil_div(next_mpe, per_nc);
+  m.utilization = static_cast<double>(synapses) /
+                  (static_cast<double>(m.total_mcas) * static_cast<double>(N * N));
+}
+
+// ------------------------------------------------------------- greedy tile --
+
+/// Pool tiling that packs windows across output-row and channel boundaries.
+/// In flat CHW indexing the inputs of consecutive (channel, output-row)
+/// bands are contiguous, so one MCA can host several whole bands while its
+/// input slice stays a single contiguous range.
+LayerMapping tile_pool_packed(const LayerInfo& li, std::size_t layer_index,
+                              const ResparcConfig& cfg) {
+  const std::size_t N = cfg.mca_size;
+  const std::size_t p = li.spec.pool;
+  const std::size_t window = p * p;
+  const Shape3 out = li.out_shape;
+  const Shape3 in = li.in_shape;
+
+  LayerMapping lm;
+  lm.layer = layer_index;
+
+  const std::size_t per_mca = std::max<std::size_t>(1, N / window);
+  const std::size_t bands_per_group =
+      window > N ? 1 : std::max<std::size_t>(1, per_mca / out.w);
+  if (bands_per_group <= 1) {
+    // One band already fills (or overflows) an array: the paper tiling is
+    // as dense as it gets.
+    return core::tile_layer_paper(li, layer_index, cfg);
+  }
+
+  const std::size_t bands = out.c * out.h;  // (channel, output-row) pairs
+  for (std::size_t b = 0; b < bands; b += bands_per_group) {
+    const std::size_t take = std::min(bands_per_group, bands - b);
+    McaGroup g;
+    g.slice.kind = SliceKind::kContiguous;
+    g.slice.begin = b * p * in.w;
+    g.slice.end = (b + take) * p * in.w;
+    const std::size_t outputs = take * out.w;
+    g.mca_count = 1;  // take * out.w <= per_mca windows by construction
+    g.rows_used = outputs * window;
+    g.cols_used = outputs;
+    g.synapses = outputs * window;
+    lm.groups.push_back(g);
+  }
+  lm.mux_degree = 1;
+  core::finalize_layer_tiling(li, cfg, lm);
+  return lm;
+}
+
+// -------------------------------------------------------------- strategies --
+
+/// The paper's section 3.1 mapper, verbatim: tile_layer_paper per layer and
+/// sequential layer-order placement.  core::map_network composes exactly
+/// these two calls, so this strategy is bit-for-bit the legacy path.
+class PaperStrategy final : public MappingStrategy {
+ public:
+  std::string name() const override { return "paper"; }
+
+  LayerMapping tile(const LayerInfo& li, std::size_t layer_index,
+                    const ResparcConfig& cfg) const override {
+    return core::tile_layer_paper(li, layer_index, cfg);
+  }
+
+  void place(Mapping& m, const ResparcConfig& cfg) const override {
+    core::place_layers_sequential(m, cfg);
+  }
+};
+
+/// Utilisation-first packing: shared-window conv tiling is always on,
+/// pool windows pack across band boundaries, and placement ignores
+/// layer-order boundaries when filling mPEs.
+class GreedyPackStrategy final : public MappingStrategy {
+ public:
+  std::string name() const override { return "greedy-pack"; }
+
+  LayerMapping tile(const LayerInfo& li, std::size_t layer_index,
+                    const ResparcConfig& cfg) const override {
+    if (li.spec.kind == LayerKind::kAvgPool)
+      return tile_pool_packed(li, layer_index, cfg);
+    if (li.spec.kind == LayerKind::kConv && li.fan_in <= cfg.mca_size) {
+      ResparcConfig shared = cfg;
+      shared.enhanced_input_sharing = true;
+      return core::tile_layer_paper(li, layer_index, shared);
+    }
+    return core::tile_layer_paper(li, layer_index, cfg);
+  }
+
+  void place(Mapping& m, const ResparcConfig& cfg) const override {
+    place_packed(m, cfg);
+  }
+};
+
+/// Paper tiling with NeuroCell-aligned placement: trades a few idle mPE
+/// slots for fewer layer boundaries on the serial global bus.
+class BalancedStrategy final : public MappingStrategy {
+ public:
+  std::string name() const override { return "balanced"; }
+
+  LayerMapping tile(const LayerInfo& li, std::size_t layer_index,
+                    const ResparcConfig& cfg) const override {
+    return core::tile_layer_paper(li, layer_index, cfg);
+  }
+
+  void place(Mapping& m, const ResparcConfig& cfg) const override {
+    place_aligned(m, cfg);
+  }
+};
+
+// ---------------------------------------------------------------- registry --
+
+NamedRegistry<StrategyFactory>& registry() {
+  static NamedRegistry<StrategyFactory> instance;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    instance.set("paper", [] { return std::make_unique<PaperStrategy>(); });
+    instance.set("greedy-pack",
+                 [] { return std::make_unique<GreedyPackStrategy>(); });
+    instance.set("balanced",
+                 [] { return std::make_unique<BalancedStrategy>(); });
+  });
+  return instance;
+}
+
+}  // namespace
+
+std::unique_ptr<MappingStrategy> make_strategy(const std::string& name) {
+  NamedRegistry<StrategyFactory>& r = registry();
+  const std::optional<StrategyFactory> factory = r.find(name);
+  if (!factory)
+    throw CompileError("unknown mapping strategy \"" + name +
+                       "\" (registered: " + join_names(r.names()) + ")");
+  return (*factory)();
+}
+
+void register_strategy(const std::string& name, StrategyFactory factory) {
+  require(!name.empty(), "register_strategy: empty name");
+  require(name != "auto",
+          "register_strategy: \"auto\" is reserved for best-of-all selection");
+  require(static_cast<bool>(factory), "register_strategy: null factory");
+  registry().set(name, std::move(factory));
+}
+
+std::vector<std::string> registered_strategies() { return registry().names(); }
+
+bool strategy_exists(const std::string& name) {
+  return registry().contains(name);
+}
+
+}  // namespace resparc::compile

@@ -1,0 +1,71 @@
+// MappingStrategy: the pluggable tile/place seam of the compiler.
+//
+// A strategy decides (a) how each layer's connectivity matrix is cut into
+// MCA groups (the tile pass) and (b) where the resulting MCAs sit in the
+// mPE/NeuroCell hierarchy (the place pass).  Strategies are looked up by
+// string key from a registry that mirrors api::make_accelerator, so new
+// mappers plug in without touching the compiler or any caller:
+//
+//   "paper"        the hierarchical mapper of paper section 3.1, verbatim
+//                  (core::map_network refactored behind this interface) —
+//                  bit-for-bit identical RunReports to the legacy path
+//   "greedy-pack"  utilisation-first: shared-window conv tiling regardless
+//                  of the config flag, pool windows packed across
+//                  row/channel boundaries, MCAs packed into mPEs ignoring
+//                  layer-order boundaries
+//   "balanced"     paper tiling, but placement aligns layers to NeuroCell
+//                  boundaries so consecutive layers share a NeuroCell when
+//                  they fit — minimising inter-NeuroCell bus crossings
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/mapper.hpp"
+#include "snn/topology.hpp"
+
+namespace resparc::compile {
+
+/// One mapping policy: how layers tile into MCA groups and how MCAs place
+/// onto the mPE/NeuroCell hierarchy.  Implementations must be stateless
+/// (const methods, no fields mutated by tile/place) so one instance can
+/// compile many topologies.
+class MappingStrategy {
+ public:
+  virtual ~MappingStrategy() = default;
+
+  /// Registry key of this strategy.
+  virtual std::string name() const = 0;
+
+  /// Tile pass for one layer: fill `groups` + `mux_degree` and the derived
+  /// per-layer counts (use core::finalize_layer_tiling).  Placement fields
+  /// are assigned later by place().
+  virtual core::LayerMapping tile(const snn::LayerInfo& li,
+                                  std::size_t layer_index,
+                                  const core::ResparcConfig& config) const = 0;
+
+  /// Place pass: assign first_mpe/first_nc/last_nc per layer and the
+  /// whole-chip totals over the already-tiled `m.layers`.
+  virtual void place(core::Mapping& m,
+                     const core::ResparcConfig& config) const = 0;
+};
+
+using StrategyFactory = std::function<std::unique_ptr<MappingStrategy>()>;
+
+/// Creates the strategy registered under `name`; throws CompileError for
+/// unknown names (the message lists the registered ones).
+std::unique_ptr<MappingStrategy> make_strategy(const std::string& name);
+
+/// Registers (or replaces) a strategy under `name`.  Thread-safe.
+void register_strategy(const std::string& name, StrategyFactory factory);
+
+/// Sorted names of every registered strategy.
+std::vector<std::string> registered_strategies();
+
+/// True when `name` is a registered strategy key.
+bool strategy_exists(const std::string& name);
+
+}  // namespace resparc::compile

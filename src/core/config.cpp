@@ -1,8 +1,42 @@
 #include "core/config.hpp"
 
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
 #include "common/error.hpp"
 
 namespace resparc::core {
+
+namespace {
+
+/// Incremental FNV-1a over primitive values; doubles hash by bit pattern so
+/// the fingerprint is exact, not tolerance-based.  Integral values widen to
+/// 64 bits through one template so the overload set stays unambiguous on
+/// every platform (size_t and uint64_t are distinct types on some ABIs).
+struct Fnv1a {
+  std::uint64_t state = 0xcbf29ce484222325ull;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state ^= p[i];
+      state *= 0x100000001b3ull;
+    }
+  }
+  void add_u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  void add(T v) {
+    add_u64(static_cast<std::uint64_t>(v));
+  }
+  void add(double v) { add_u64(std::bit_cast<std::uint64_t>(v)); }
+  void add(const std::string& s) {
+    add_u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+}  // namespace
 
 void ResparcConfig::validate() const {
   require(mca_size >= 8 && mca_size <= 1024, "MCA size must be in [8,1024]");
@@ -16,6 +50,48 @@ void ResparcConfig::validate() const {
 
 std::string ResparcConfig::label() const {
   return "RESPARC-" + std::to_string(mca_size);
+}
+
+std::uint64_t ResparcConfig::fingerprint() const {
+  Fnv1a h;
+  h.add(mca_size);
+  h.add(mcas_per_mpe);
+  h.add(nc_dim);
+  h.add(buffer_depth);
+  h.add(input_sram_bytes);
+  h.add(event_driven);
+  h.add(enhanced_input_sharing);
+
+  const tech::Technology& t = technology;
+  h.add(t.name);
+  h.add(t.resparc_clock_mhz);
+  h.add(t.baseline_clock_mhz);
+  h.add(t.flit_bits);
+
+  const tech::MemristorParams& mem = t.memristor;
+  h.add(mem.name);
+  h.add(mem.r_on_ohm);
+  h.add(mem.r_off_ohm);
+  h.add(mem.bits);
+  h.add(mem.read_voltage_v);
+  h.add(mem.read_pulse_ns);
+  h.add(mem.sneak_leak_fraction);
+
+  const tech::DigitalCosts& d = t.digital;
+  h.add(d.buffer_bit_pj);
+  h.add(d.switch_flit_pj);
+  h.add(d.bus_word_pj);
+  h.add(d.ccu_transfer_pj);
+  h.add(d.mca_control_pj);
+  h.add(d.gcu_event_pj);
+  h.add(d.neuron_integrate_pj);
+  h.add(d.neuron_fire_pj);
+  h.add(d.mac4_pj);
+  h.add(d.nu_overhead_pj);
+  h.add(d.core_leakage_w);
+  h.add(d.column_interface_pj);
+  h.add(d.mca_column_leak_w);
+  return h.state;
 }
 
 ResparcConfig default_config() {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "tech/technology.hpp"
@@ -47,6 +48,12 @@ struct ResparcConfig {
 
   /// "RESPARC-N" label used throughout the paper's figures.
   std::string label() const;
+
+  /// Stable FNV-1a hash over every field that affects mapping or execution
+  /// (architecture knobs, device parameters, digital cost tables).  A
+  /// compile::CompiledProgram records this at compile time and refuses to
+  /// load against a chip whose fingerprint differs.
+  std::uint64_t fingerprint() const;
 };
 
 /// The paper's default operating point: RESPARC-64 as in Fig. 8.

@@ -19,16 +19,19 @@ std::size_t nonzero_words(const SpikeVector& v) {
   return n;
 }
 
-/// Cycles to move one word across the global bus: SRAM staging write plus
-/// a broadcast read (Fig. 7(b): serial transfer through the shared bus).
-constexpr double kBusCyclesPerWord = 2.0;
-
 }  // namespace
 
 Executor::Executor(const snn::Topology& topology, const Mapping& mapping)
     : topology_(topology), mapping_(mapping) {
   require(mapping.layers.size() == topology.layer_count(),
           "executor: mapping does not match topology");
+  // Catches stale artifacts (e.g. a deserialized CompiledProgram for a
+  // different network slipping past the facade): every mapped synapse must
+  // belong to the layer it claims.
+  for (std::size_t l = 0; l < mapping.layers.size(); ++l)
+    require(mapping.layers[l].synapses == topology.layers()[l].synapses,
+            "executor: layer " + std::to_string(l) +
+                " synapse count does not match the topology");
 }
 
 std::size_t Executor::slice_bits(const InputSlice& slice,

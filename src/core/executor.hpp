@@ -20,6 +20,12 @@
 
 namespace resparc::core {
 
+/// Cycles to move one word across the global bus: SRAM staging write plus
+/// a broadcast read (Fig. 7(b): serial transfer through the shared bus).
+/// Shared with compile::estimate_cost so the analytic ranking cannot drift
+/// from the measured pipeline model.
+inline constexpr double kBusCyclesPerWord = 2.0;
+
 /// Executes spike traces against a fixed mapping.
 class Executor {
  public:

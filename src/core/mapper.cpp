@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/math.hpp"
 
 namespace resparc::core {
 
@@ -10,8 +11,6 @@ using snn::LayerInfo;
 using snn::LayerKind;
 
 namespace {
-
-std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
 
 /// Dense layer: contiguous N-row slices of the fan_in x units matrix.
 void map_dense(const LayerInfo& li, const ResparcConfig& cfg, LayerMapping& lm) {
@@ -118,13 +117,18 @@ void map_conv_sliced(const LayerInfo& li, const ResparcConfig& cfg,
   lm.mux_degree = slices;
 }
 
-/// Average pooling: disjoint windows pack block-diagonally.
+/// Average pooling: disjoint windows pack block-diagonally.  A window
+/// larger than the array (p^2 > N) is row-sliced like a large-fan-in conv:
+/// each output neuron time-multiplexes ceil(p^2/N) partial currents.
 void map_pool(const LayerInfo& li, const ResparcConfig& cfg, LayerMapping& lm) {
   const std::size_t N = cfg.mca_size;
   const std::size_t p = li.spec.pool;
   const Shape3 out = li.out_shape;
   const Shape3 in = li.in_shape;
-  const std::size_t per_mca = std::max<std::size_t>(1, N / (p * p));
+  const std::size_t window = p * p;
+  const std::size_t slices = ceil_div(window, N);
+  const std::size_t per_mca =
+      slices == 1 ? std::max<std::size_t>(1, N / window) : 1;
 
   for (std::size_t c = 0; c < out.c; ++c) {
     for (std::size_t oy = 0; oy < out.h; ++oy) {
@@ -135,14 +139,16 @@ void map_pool(const LayerInfo& li, const ResparcConfig& cfg, LayerMapping& lm) {
       g.slice.begin = (c * in.h + oy * p) * in.w;
       g.slice.end = (c * in.h + oy * p + p) * in.w;
       const std::size_t outputs = out.w;
-      g.mca_count = ceil_div(outputs, per_mca);
-      g.rows_used = std::min(N, per_mca * p * p);
+      g.mca_count = ceil_div(outputs, per_mca) * slices;
+      g.rows_used = slices == 1
+                        ? std::min(N, per_mca * window)
+                        : N;  // full slices, last partial folded into count
       g.cols_used = outputs;
-      g.synapses = outputs * p * p;
+      g.synapses = outputs * window;
       lm.groups.push_back(g);
     }
   }
-  lm.mux_degree = 1;
+  lm.mux_degree = slices;
 }
 
 }  // namespace
@@ -159,62 +165,79 @@ bool Mapping::boundary_uses_bus(std::size_t l) const {
            src.first_nc == src.last_nc);
 }
 
-Mapping map_network(const snn::Topology& topology, const ResparcConfig& config) {
-  config.validate();
-  Mapping m;
-  m.config = config;
+void finalize_layer_tiling(const LayerInfo& li, const ResparcConfig& config,
+                           LayerMapping& lm) {
   const std::size_t N = config.mca_size;
+  lm.mca_count = 0;
+  lm.synapses = 0;
+  for (const auto& g : lm.groups) {
+    lm.mca_count += g.mca_count;
+    lm.synapses += g.synapses;
+  }
+  if (lm.synapses != li.synapses)
+    throw MappingError("mapper lost synapses on layer " +
+                       std::to_string(lm.layer));
 
+  lm.mux_cycles = ceil_div(lm.mux_degree, config.mcas_per_mpe);
+  lm.ccu_transfers_per_neuron = lm.mux_cycles > 0 ? lm.mux_cycles - 1 : 0;
+  lm.mpe_count = ceil_div(lm.mca_count, config.mcas_per_mpe);
+  lm.utilization = static_cast<double>(lm.synapses) /
+                   (static_cast<double>(lm.mca_count) * static_cast<double>(N * N));
+}
+
+LayerMapping tile_layer_paper(const LayerInfo& li, std::size_t layer_index,
+                              const ResparcConfig& config) {
+  require(li.neurons > 0, "cannot map a zero-neuron layer");
+  LayerMapping lm;
+  lm.layer = layer_index;
+
+  switch (li.spec.kind) {
+    case LayerKind::kDense:
+      map_dense(li, config, lm);
+      break;
+    case LayerKind::kConv:
+      if (li.fan_in <= config.mca_size)
+        map_conv_windowed(li, config, lm);
+      else
+        map_conv_sliced(li, config, lm);
+      break;
+    case LayerKind::kAvgPool:
+      map_pool(li, config, lm);
+      break;
+  }
+
+  finalize_layer_tiling(li, config, lm);
+  return lm;
+}
+
+void place_layers_sequential(Mapping& m, const ResparcConfig& config) {
+  const std::size_t N = config.mca_size;
   std::size_t next_mpe = 0;
-  for (std::size_t l = 0; l < topology.layer_count(); ++l) {
-    const LayerInfo& li = topology.layers()[l];
-    require(li.neurons > 0, "cannot map a zero-neuron layer");
-    LayerMapping lm;
-    lm.layer = l;
-
-    switch (li.spec.kind) {
-      case LayerKind::kDense:
-        map_dense(li, config, lm);
-        break;
-      case LayerKind::kConv:
-        if (li.fan_in <= N)
-          map_conv_windowed(li, config, lm);
-        else
-          map_conv_sliced(li, config, lm);
-        break;
-      case LayerKind::kAvgPool:
-        map_pool(li, config, lm);
-        break;
-    }
-
-    for (const auto& g : lm.groups) {
-      lm.mca_count += g.mca_count;
-      lm.synapses += g.synapses;
-    }
-    if (lm.synapses != li.synapses)
-      throw MappingError("mapper lost synapses on layer " + std::to_string(l));
-
-    lm.mux_cycles = ceil_div(lm.mux_degree, config.mcas_per_mpe);
-    lm.ccu_transfers_per_neuron = lm.mux_cycles > 0 ? lm.mux_cycles - 1 : 0;
-    lm.mpe_count = ceil_div(lm.mca_count, config.mcas_per_mpe);
-    lm.utilization = static_cast<double>(lm.synapses) /
-                     (static_cast<double>(lm.mca_count) * static_cast<double>(N * N));
-
+  m.total_mcas = 0;
+  std::size_t synapses = 0;
+  for (LayerMapping& lm : m.layers) {
+    // lm.mpe_count was derived by finalize_layer_tiling: each layer starts
+    // a fresh mPE, so the tiled value is also the placed one here.
     lm.first_mpe = next_mpe;
     next_mpe += lm.mpe_count;
     lm.first_nc = lm.first_mpe / config.mpes_per_neurocell();
     lm.last_nc = (lm.first_mpe + lm.mpe_count - 1) / config.mpes_per_neurocell();
-
     m.total_mcas += lm.mca_count;
-    m.layers.push_back(std::move(lm));
+    synapses += lm.synapses;
   }
-
   m.total_mpes = next_mpe;
   m.total_neurocells = ceil_div(next_mpe, config.mpes_per_neurocell());
-  std::size_t synapses = 0;
-  for (const auto& lm : m.layers) synapses += lm.synapses;
   m.utilization = static_cast<double>(synapses) /
                   (static_cast<double>(m.total_mcas) * static_cast<double>(N * N));
+}
+
+Mapping map_network(const snn::Topology& topology, const ResparcConfig& config) {
+  config.validate();
+  Mapping m;
+  m.config = config;
+  for (std::size_t l = 0; l < topology.layer_count(); ++l)
+    m.layers.push_back(tile_layer_paper(topology.layers()[l], l, config));
+  place_layers_sequential(m, config);
   return m;
 }
 

@@ -103,6 +103,31 @@ struct Mapping {
 /// layer cannot be mapped (e.g. zero-size layer).
 Mapping map_network(const snn::Topology& topology, const ResparcConfig& config);
 
+// -- tiling/placement building blocks ---------------------------------------
+//
+// map_network is the composition of the three functions below.  They are
+// exposed so compile::MappingStrategy implementations (src/compile) can mix
+// the paper's per-layer tiling with alternative packing and placement
+// policies without duplicating the section 3.1 rules.
+
+/// Tiles one layer with the paper's section 3.1 rules: fills `groups` and
+/// `mux_degree`, then derives the per-layer counts via
+/// finalize_layer_tiling.  Placement fields (first_mpe/first_nc/last_nc)
+/// are left at zero; a placement pass assigns them.
+LayerMapping tile_layer_paper(const snn::LayerInfo& li, std::size_t layer_index,
+                              const ResparcConfig& config);
+
+/// Derives mca_count / synapses / mux_cycles / ccu_transfers_per_neuron /
+/// mpe_count / utilization from a layer's groups + mux_degree, and checks
+/// synapse conservation against `li` (throws MappingError on loss).
+void finalize_layer_tiling(const snn::LayerInfo& li, const ResparcConfig& config,
+                           LayerMapping& lm);
+
+/// The paper's placement: layers packed onto mPEs in network order, each
+/// layer starting a fresh mPE.  Fills every placement field and the
+/// whole-chip totals (total_mcas/mpes/neurocells, utilization).
+void place_layers_sequential(Mapping& m, const ResparcConfig& config);
+
 /// Conv-window edge: rows a window tile needs for `w` outputs with kernel
 /// k and same/valid padding (helper exposed for tests).
 std::size_t conv_window_input_span(std::size_t w, std::size_t k);

@@ -1,6 +1,9 @@
 #include "core/resparc.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
+#include "compile/compiler.hpp"
 #include "tech/sram.hpp"
 
 namespace resparc::core {
@@ -43,15 +46,30 @@ ResparcChip::ResparcChip(ResparcConfig config) : config_(std::move(config)) {
 }
 
 const Mapping& ResparcChip::load(const snn::Topology& topology) {
+  return load(topology, compile::Compiler(config_).compile(topology, "paper"));
+}
+
+const Mapping& ResparcChip::load(const snn::Topology& topology,
+                                 compile::CompiledProgram program) {
+  if (program.config_fingerprint != config_.fingerprint())
+    throw compile::CompileError(
+        "ResparcChip: program was compiled for a different configuration");
+  program.check_matches(topology);
+  executor_.reset();  // drop the references into the old state first
   topology_ = topology;
-  mapping_ = map_network(*topology_, config_);
-  executor_ = std::make_unique<Executor>(*topology_, *mapping_);
-  return *mapping_;
+  program_ = std::move(program);
+  executor_ = std::make_unique<Executor>(*topology_, program_->mapping);
+  return program_->mapping;
 }
 
 const Mapping& ResparcChip::mapping() const {
-  require(mapping_.has_value(), "ResparcChip: no network loaded");
-  return *mapping_;
+  require(program_.has_value(), "ResparcChip: no network loaded");
+  return program_->mapping;
+}
+
+const compile::CompiledProgram& ResparcChip::program() const {
+  require(program_.has_value(), "ResparcChip: no network loaded");
+  return *program_;
 }
 
 RunReport ResparcChip::execute(const snn::SpikeTrace& trace) const {

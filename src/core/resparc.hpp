@@ -3,11 +3,17 @@
 // Bundles configuration, mapping and execution behind one call sequence:
 //
 //   ResparcChip chip(config);
-//   chip.load(topology);                 // maps the SNN onto the fabric
+//   chip.load(topology);                 // compiles the SNN onto the fabric
 //   RunReport r = chip.execute(traces);  // replays functional spike traces
 //
-// and provides the implementation-metric roll-up that reproduces the
-// paper's Fig. 8 table (area / power / gate count / frequency of one
+// load(topology) is a thin wrapper over the compile layer with the "paper"
+// strategy; a pre-compiled (possibly deserialized) program loads directly:
+//
+//   auto program = compile::Compiler(config).compile(topology, "greedy-pack");
+//   chip.load(topology, program);
+//
+// The chip also provides the implementation-metric roll-up that reproduces
+// the paper's Fig. 8 table (area / power / gate count / frequency of one
 // NeuroCell).
 #pragma once
 
@@ -15,6 +21,7 @@
 #include <optional>
 #include <span>
 
+#include "compile/program.hpp"
 #include "core/config.hpp"
 #include "core/executor.hpp"
 #include "core/mapper.hpp"
@@ -44,15 +51,27 @@ class ResparcChip {
 
   const ResparcConfig& config() const { return config_; }
 
-  /// Maps `topology` onto the fabric (replacing any previous network).
-  /// Returns the mapping for inspection.  The topology is copied.
+  /// Compiles `topology` onto the fabric with the "paper" strategy
+  /// (replacing any previous network) and returns the mapping for
+  /// inspection.  The topology is copied.  Bit-for-bit equivalent to the
+  /// pre-compiler core::map_network path.
   const Mapping& load(const snn::Topology& topology);
 
+  /// Hosts a pre-compiled program (freshly compiled or deserialized).
+  /// Throws compile::CompileError when the program's config fingerprint
+  /// does not match this chip or the program does not implement
+  /// `topology`.  The topology and program are copied.
+  const Mapping& load(const snn::Topology& topology,
+                      compile::CompiledProgram program);
+
   /// True once a network is loaded.
-  bool loaded() const { return mapping_.has_value(); }
+  bool loaded() const { return program_.has_value(); }
 
   /// Mapping of the loaded network; throws if none is loaded.
   const Mapping& mapping() const;
+
+  /// Compiled program hosting the loaded network; throws if none is loaded.
+  const compile::CompiledProgram& program() const;
 
   /// Replays one spike trace (must match the loaded topology).
   RunReport execute(const snn::SpikeTrace& trace) const;
@@ -63,7 +82,7 @@ class ResparcChip {
  private:
   ResparcConfig config_;
   std::optional<snn::Topology> topology_;
-  std::optional<Mapping> mapping_;
+  std::optional<compile::CompiledProgram> program_;
   std::unique_ptr<Executor> executor_;
 };
 

@@ -71,7 +71,52 @@ TEST(Registry, UnknownNameThrowsListingAlternatives) {
     EXPECT_NE(what.find("no-such-backend"), std::string::npos);
     EXPECT_NE(what.find("resparc"), std::string::npos);
     EXPECT_NE(what.find("cmos"), std::string::npos);
+    // The message also lists the mapping strategies a key may select.
+    EXPECT_NE(what.find("strategies"), std::string::npos);
+    EXPECT_NE(what.find("paper"), std::string::npos);
+    EXPECT_NE(what.find("greedy-pack"), std::string::npos);
+    EXPECT_NE(what.find("balanced"), std::string::npos);
   }
+}
+
+TEST(Registry, UnknownStrategySuffixThrowsListingStrategies) {
+  try {
+    make_accelerator("resparc-64/no-such-strategy");
+    FAIL() << "expected BackendError";
+  } catch (const BackendError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-strategy"), std::string::npos);
+    EXPECT_NE(what.find("paper"), std::string::npos);
+    EXPECT_NE(what.find("greedy-pack"), std::string::npos);
+    EXPECT_NE(what.find("balanced"), std::string::npos);
+  }
+}
+
+TEST(Registry, StrategySuffixOnNonCompiledBackendThrows) {
+  EXPECT_THROW(make_accelerator("cmos/greedy-pack"), BackendError);
+}
+
+TEST(Registry, TrailingSlashThrows) {
+  EXPECT_THROW(make_accelerator("resparc-64/"), BackendError);
+}
+
+TEST(Registry, RegisteredNameContainingSlashResolvesExactly) {
+  // An exact registered name wins over the "/<strategy>" interpretation.
+  register_backend("test-slashed/v2", [](const BackendOptions& o) {
+    return std::make_unique<ResparcBackend>(o.resparc);
+  });
+  const auto accel = make_accelerator("test-slashed/v2");
+  EXPECT_EQ(accel->name(), "RESPARC-64");
+}
+
+TEST(Registry, TypoInOptionsStrategyThrowsAtCreation) {
+  // A bad options.strategy must fail here as BackendError, not later at
+  // load() time as a compile error.
+  BackendOptions options;
+  options.strategy = "blanced";
+  EXPECT_THROW(make_accelerator("resparc-64", options), BackendError);
+  options.strategy = "";
+  EXPECT_THROW(make_accelerator("resparc-64", options), BackendError);
 }
 
 TEST(Registry, RegisterBackendRejectsBadArguments) {

@@ -48,6 +48,32 @@ TEST(MapperDense, ExactFitNoWaste) {
   EXPECT_DOUBLE_EQ(m.layers[0].utilization, 1.0);
 }
 
+TEST(MapperDense, FanInExactlyNIsOneSliceNoMux) {
+  // Edge case: fan_in == N must not spill into a second (empty) row slice.
+  Topology t("d", Shape3{1, 1, 64}, {LayerSpec::dense(64)});
+  const Mapping m = map_network(t, cfg(64));
+  const LayerMapping& lm = m.layers[0];
+  ASSERT_EQ(lm.groups.size(), 1u);
+  EXPECT_EQ(lm.groups[0].slice.begin, 0u);
+  EXPECT_EQ(lm.groups[0].slice.end, 64u);
+  EXPECT_EQ(lm.groups[0].rows_used, 64u);
+  EXPECT_EQ(lm.mca_count, 1u);
+  EXPECT_EQ(lm.mux_degree, 1u);
+  EXPECT_EQ(lm.mux_cycles, 1u);
+  EXPECT_EQ(lm.ccu_transfers_per_neuron, 0u);
+  EXPECT_DOUBLE_EQ(lm.utilization, 1.0);
+}
+
+TEST(MapperDense, FanInOnePastNAddsASlice) {
+  Topology t("d", Shape3{1, 1, 65}, {LayerSpec::dense(64)});
+  const Mapping m = map_network(t, cfg(64));
+  const LayerMapping& lm = m.layers[0];
+  ASSERT_EQ(lm.groups.size(), 2u);
+  EXPECT_EQ(lm.groups[1].rows_used, 1u);  // the one overflow row
+  EXPECT_EQ(lm.mca_count, 2u);
+  EXPECT_EQ(lm.mux_degree, 2u);
+}
+
 TEST(MapperDense, MlpUtilizationHigh) {
   // The paper's premise: MLPs utilise MCAs nearly fully (section 5.1).
   const auto b = snn::mnist_mlp();
@@ -149,6 +175,37 @@ TEST(MapperPool, BlockDiagonalPacking) {
   EXPECT_EQ(lm.mux_degree, 1u);
   // Disjoint windows cannot share rows: utilisation is very low.
   EXPECT_LT(lm.utilization, 0.10);
+}
+
+TEST(MapperPool, WindowLargerThanArrayTimeMultiplexes) {
+  // Edge case: p^2 > N.  An 8x8 pool window (64 rows) on a 32x32 array
+  // must slice each window over ceil(64/32) = 2 time-multiplexed partials
+  // instead of silently pretending it fits.
+  Topology t("p", Shape3{2, 16, 16}, {LayerSpec::avg_pool(8)});
+  const Mapping m = map_network(t, cfg(32));
+  const LayerMapping& lm = m.layers[0];
+  // 2 channels x 2 output rows of 2 outputs; 2 slices per output.
+  ASSERT_EQ(lm.groups.size(), 4u);
+  EXPECT_EQ(lm.mux_degree, 2u);
+  EXPECT_EQ(lm.mux_cycles, 1u);  // both partials fit one mPE's 4 MCAs
+  for (const auto& g : lm.groups) {
+    EXPECT_EQ(g.mca_count, 4u);   // 2 outputs x 2 slices
+    EXPECT_EQ(g.rows_used, 32u);  // full slices
+    EXPECT_EQ(g.synapses, 2u * 64u);
+  }
+  EXPECT_EQ(lm.mca_count, 16u);
+  // 8 outputs x 64 synapses over 16 arrays of 1024 cells.
+  EXPECT_DOUBLE_EQ(lm.utilization, 512.0 / (16.0 * 1024.0));
+}
+
+TEST(MapperPool, WindowExactlyArraySizeIsOneSlice) {
+  // p^2 == N sits right on the boundary: one slice, one output per MCA.
+  Topology t("p", Shape3{1, 16, 16}, {LayerSpec::avg_pool(8)});
+  const Mapping m = map_network(t, cfg(64));
+  const LayerMapping& lm = m.layers[0];
+  EXPECT_EQ(lm.mux_degree, 1u);
+  EXPECT_EQ(lm.mca_count, 4u);  // 4 outputs, 1 per array
+  EXPECT_DOUBLE_EQ(lm.utilization, 4.0 * 64.0 / (4.0 * 64.0 * 64.0));
 }
 
 TEST(MapperPool, SlicesAreContiguous) {
