@@ -84,23 +84,31 @@ int main() {
                "trades idle mPE slots for fewer\nserial-bus boundaries.  The "
                "paper strategy is the section 3.1 baseline.\n";
 
+  std::ostringstream config;
+  config << "{\"benchmarks\": [\"mnist-mlp\", \"mnist-cnn\"], "
+         << "\"mca_sizes\": [32, 64, 128], \"presentations\": "
+         << bench::bench_images() << ", \"timesteps\": "
+         << bench::bench_timesteps() << "}";
+  std::ostringstream metrics;
+  metrics << "{\"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    metrics << "    {\"benchmark\": \"" << r.benchmark << "\", \"mca\": "
+            << r.mca << ", \"strategy\": \"" << r.strategy
+            << "\", \"utilization\": " << Table::num(r.utilization, 4)
+            << ", \"mcas\": " << r.mcas << ", \"neurocells\": " << r.neurocells
+            << ", \"bus_boundaries\": " << r.bus_boundaries
+            << ", \"energy_uj\": " << Table::num(r.energy_uj, 4)
+            << ", \"eps\": " << Table::num(r.eps, 1) << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  metrics << "  ]}";
+
   const std::string path = "ablation_mapping_strategy.json";
   std::ofstream out(path);
-  if (out) {
-    out << "{\n  \"results\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      out << "    {\"benchmark\": \"" << r.benchmark << "\", \"mca\": "
-          << r.mca << ", \"strategy\": \"" << r.strategy
-          << "\", \"utilization\": " << Table::num(r.utilization, 4)
-          << ", \"mcas\": " << r.mcas << ", \"neurocells\": " << r.neurocells
-          << ", \"bus_boundaries\": " << r.bus_boundaries
-          << ", \"energy_uj\": " << Table::num(r.energy_uj, 4)
-          << ", \"eps\": " << Table::num(r.eps, 1) << "}"
-          << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-  }
+  if (out)
+    out << bench::trajectory_envelope("ablation_mapping_strategy",
+                                      config.str(), metrics.str());
   bench::note_csv_written(path, static_cast<bool>(out));
   return 0;
 }

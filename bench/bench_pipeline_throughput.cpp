@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -104,24 +105,27 @@ int main() {
                 row.execute_cmos_tps);
   }
 
+  std::ostringstream config;
+  config << "{\"benchmark\": \"mnist-mlp\", \"presentations\": " << images
+         << ", \"timesteps\": " << timesteps << ", \"hardware_threads\": "
+         << (hw == 0 ? 1 : hw) << "}";
+  std::ostringstream metrics;
+  metrics << "{\"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    metrics << "    {\"threads\": " << r.threads
+            << ", \"simulate_tps\": " << r.simulate_tps
+            << ", \"execute_resparc_tps\": " << r.execute_resparc_tps
+            << ", \"execute_cmos_tps\": " << r.execute_cmos_tps << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  metrics << "  ]}";
+
   const std::string path = "pipeline_throughput.json";
   std::ofstream out(path);
-  if (out) {
-    out << "{\n  \"benchmark\": \"mnist-mlp\",\n"
-        << "  \"presentations\": " << images << ",\n"
-        << "  \"timesteps\": " << timesteps << ",\n"
-        << "  \"hardware_threads\": " << (hw == 0 ? 1 : hw) << ",\n"
-        << "  \"results\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      out << "    {\"threads\": " << r.threads
-          << ", \"simulate_tps\": " << r.simulate_tps
-          << ", \"execute_resparc_tps\": " << r.execute_resparc_tps
-          << ", \"execute_cmos_tps\": " << r.execute_cmos_tps << "}"
-          << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-  }
+  if (out)
+    out << bench::trajectory_envelope("pipeline_throughput", config.str(),
+                                      metrics.str());
   bench::note_csv_written(path, static_cast<bool>(out));
   return 0;
 }

@@ -1,0 +1,149 @@
+// Micro-benchmark — sparse event-driven engine vs the dense simulator
+// across input sparsity (docs/execution.md, docs/benchmarks.md).
+//
+// The MNIST CNN workload is calibrated ONCE at full input rate (the
+// paper's ~10%-activity regime); the sweep then presents the same fixed
+// network with progressively sparser Poisson input by scaling the
+// encoder rate — the physically meaningful experiment: a dimmer input on
+// unchanged thresholds quiets every downstream layer, exactly the regime
+// where event-driven execution pays (paper section 3.2, Fig. 13).  For
+// each sparsity level the bench reports measured input sparsity and mean
+// activity (snn::ActivityTrace), dense and sparse traces/sec, and the
+// speedup; sparse throughput must rise monotonically with sparsity.
+// Results go to stdout and bench_sparse_execution.json (the trajectory
+// envelope of bench/trajectory/README.md).
+//
+// Environment knobs:
+//   RESPARC_BENCH_IMAGES    presentations per measurement (default 3)
+//   RESPARC_BENCH_TIMESTEPS presentation length           (default 16)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "snn/activity.hpp"
+#include "snn/benchmarks.hpp"
+#include "snn/simulator.hpp"
+
+namespace {
+
+using namespace resparc;
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  double rate = 1.0;          ///< encoder max_rate scale
+  double input_sparsity = 0;  ///< measured 1 - input activity
+  double mean_activity = 0;   ///< measured spikes/neuron/step, all layers
+  double dense_tps = 0;       ///< dense-mode traces/sec
+  double sparse_tps = 0;      ///< sparse-mode traces/sec
+  double speedup = 0;         ///< sparse_tps / dense_tps
+};
+
+double time_mode(const api::Workload& w, const snn::SimConfig& base,
+                 snn::ExecutionMode mode, std::size_t images,
+                 std::size_t repeats) {
+  snn::SimConfig cfg = base;
+  cfg.record_trace = false;
+  cfg.mode = mode;
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < repeats; ++r) {
+    for (std::size_t i = 0; i < images; ++i) {
+      Rng rng(api::presentation_seed(7, i));
+      snn::Simulator sim(w.network, cfg);
+      (void)sim.run(w.test.images[i], rng);
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(images * repeats) / std::max(seconds, 1e-9);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t images = std::max<std::size_t>(bench::bench_images(), 3);
+  const std::size_t timesteps =
+      std::min<std::size_t>(bench::bench_timesteps(), 16);
+  const std::size_t repeats = 3;
+
+  std::printf("== sparse event-driven engine vs dense simulator ==\n");
+  std::printf("(mnist-cnn, %zu presentations x %zu timesteps, thresholds "
+              "calibrated once at full rate)\n\n",
+              images, timesteps);
+
+  // One calibration at full rate; the sweep only changes the encoder.
+  api::PipelineOptions opt;
+  opt.images = images;
+  opt.timesteps = timesteps;
+  opt.threads = 1;
+  const api::Workload w =
+      api::Pipeline(opt).benchmark(snn::mnist_cnn()).run();
+
+  const std::vector<double> rates = {1.0, 0.5, 0.2, 0.1, 0.05, 0.02};
+  std::vector<Row> rows;
+  for (const double rate : rates) {
+    snn::SimConfig cfg;
+    cfg.timesteps = timesteps;
+    cfg.encoder.max_rate = rate;
+
+    // Measured sparsity of this sweep point (sparse engine, traced).
+    snn::ActivityTrace activity;
+    {
+      snn::SimConfig traced = cfg;
+      traced.mode = snn::ExecutionMode::kSparse;
+      for (std::size_t i = 0; i < images; ++i) {
+        Rng rng(api::presentation_seed(7, i));
+        snn::Simulator sim(w.network, traced);
+        activity.add(sim.run(w.test.images[i], rng).trace);
+      }
+    }
+
+    Row row;
+    row.rate = rate;
+    row.input_sparsity = activity.input_sparsity();
+    row.mean_activity = activity.mean_activity();
+    row.dense_tps =
+        time_mode(w, cfg, snn::ExecutionMode::kDense, images, repeats);
+    row.sparse_tps =
+        time_mode(w, cfg, snn::ExecutionMode::kSparse, images, repeats);
+    row.speedup = row.dense_tps > 0 ? row.sparse_tps / row.dense_tps : 0.0;
+    rows.push_back(row);
+
+    std::printf("rate %4.2f | input sparsity %5.1f%% | activity %6.4f | "
+                "dense %8.1f tr/s | sparse %8.1f tr/s | speedup %5.2fx\n",
+                row.rate, 100.0 * row.input_sparsity, row.mean_activity,
+                row.dense_tps, row.sparse_tps, row.speedup);
+  }
+
+  std::ostringstream config;
+  config << "{\"benchmark\": \"mnist-cnn\", \"presentations\": " << images
+         << ", \"timesteps\": " << timesteps << ", \"repeats\": " << repeats
+         << ", \"calibration\": \"once-at-full-rate\"}";
+  std::ostringstream metrics;
+  metrics << "{\"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    metrics << "    {\"rate\": " << Table::num(r.rate, 2)
+            << ", \"input_sparsity\": " << Table::num(r.input_sparsity, 4)
+            << ", \"mean_activity\": " << Table::num(r.mean_activity, 5)
+            << ", \"dense_tps\": " << Table::num(r.dense_tps, 1)
+            << ", \"sparse_tps\": " << Table::num(r.sparse_tps, 1)
+            << ", \"speedup\": " << Table::num(r.speedup, 2) << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  metrics << "  ]}";
+
+  const std::string path = "bench_sparse_execution.json";
+  std::ofstream out(path);
+  if (out)
+    out << bench::trajectory_envelope("bench_sparse_execution", config.str(),
+                                      metrics.str());
+  bench::note_csv_written(path, static_cast<bool>(out));
+  return 0;
+}

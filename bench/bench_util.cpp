@@ -45,6 +45,26 @@ std::vector<Workload> paper_workloads() {
   return out;
 }
 
+std::string bench_commit() {
+  const char* value = std::getenv("RESPARC_GIT_COMMIT");
+  return value != nullptr && value[0] != '\0' ? std::string(value)
+                                              : std::string("unknown");
+}
+
+std::string trajectory_envelope(const std::string& bench,
+                                const std::string& config_json,
+                                const std::string& metrics_json) {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"" + bench + "\",\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"commit\": \"" + bench_commit() + "\",\n";
+  out += "  \"config\": " + config_json + ",\n";
+  out += "  \"metrics\": " + metrics_json + "\n";
+  out += "}\n";
+  return out;
+}
+
 void note_csv_written(const std::string& path, bool ok) {
   if (ok)
     std::printf("[csv] wrote %s\n", path.c_str());

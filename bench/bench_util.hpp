@@ -53,4 +53,18 @@ std::vector<Workload> paper_workloads();
 /// directory (best effort; failures are reported but not fatal).
 void note_csv_written(const std::string& path, bool ok);
 
+/// Commit hash recorded in trajectory JSON: RESPARC_GIT_COMMIT when set
+/// (CI injects the SHA), "unknown" otherwise.
+std::string bench_commit();
+
+/// Renders the versioned bench-trajectory envelope documented in
+/// bench/trajectory/README.md: {"bench", "schema_version", "commit",
+/// "config": {...}, "metrics": {...}}.  `config_json` and `metrics_json`
+/// are pre-rendered JSON objects (including their braces); the envelope
+/// supplies everything else, so every tracked bench stays validatable by
+/// tools/validate_trajectory.py.
+std::string trajectory_envelope(const std::string& bench,
+                                const std::string& config_json,
+                                const std::string& metrics_json);
+
 }  // namespace resparc::bench

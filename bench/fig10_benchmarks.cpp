@@ -3,7 +3,7 @@
 // Prints the six benchmarks with our topology decode next to the paper's
 // reported layer/neuron/synapse figures.  Neuron totals match the paper
 // exactly under each row's counting convention; the synapse column differs
-// by convention (see DESIGN.md section 3), so both numbers are shown.
+// by convention (see docs/architecture.md), so both numbers are shown.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -40,7 +40,7 @@ int main() {
   std::cout << "\nNeuron totals match the paper exactly on every row.\n"
                "Synapse figures use different conventions: ours counts\n"
                "unrolled connections (what the hardware maps); the paper's\n"
-               "MLP column equals neurons x hidden width (see DESIGN.md).\n";
+               "MLP column equals neurons x hidden width (docs/architecture.md).\n";
   bench::note_csv_written("fig10_benchmarks.csv", csv.write("fig10_benchmarks.csv"));
   return 0;
 }

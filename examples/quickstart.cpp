@@ -24,7 +24,7 @@ int main() {
             << w.mean_activity << " spikes/neuron/step\n\n";
 
   // Backend keys accept a "/<strategy>" suffix selecting how the compile
-  // layer maps the network onto the crossbars (DESIGN.md section 9).
+  // layer maps the network onto the crossbars (docs/compile.md).
   const std::vector<std::string> backends{"cmos", "resparc-64",
                                           "resparc-64/greedy-pack"};
   const api::ComparisonReport cmp =

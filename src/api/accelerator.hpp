@@ -1,4 +1,4 @@
-// The unified accelerator surface (DESIGN.md section 1).
+// The unified accelerator surface (docs/architecture.md).
 //
 // Every architecture model this repo compares — the memristive RESPARC
 // fabric, the CMOS FALCON-style baseline, and any future variant — is
@@ -24,6 +24,7 @@
 
 #include "cmos/falcon.hpp"
 #include "core/energy.hpp"
+#include "core/events.hpp"
 #include "snn/topology.hpp"
 #include "snn/trace.hpp"
 
@@ -31,17 +32,17 @@ namespace resparc::api {
 
 /// Implementation-metric roll-up of one accelerator tile (paper Fig. 8/9).
 struct AcceleratorMetrics {
-  double area_mm2 = 0.0;
+  double area_mm2 = 0.0;       ///< silicon area of one tile
   double power_mw = 0.0;       ///< peak dynamic power at full activity
-  double gate_count = 0.0;
-  double frequency_mhz = 0.0;
+  double gate_count = 0.0;     ///< logic gates of the digital periphery
+  double frequency_mhz = 0.0;  ///< operating clock
 };
 
 /// Backend-independent result of replaying traces.  Energy and latency are
 /// per classification (averaged over the trace set).
 struct ExecutionReport {
   std::string backend;               ///< Accelerator::name() of the producer
-  std::size_t classifications = 0;
+  std::size_t classifications = 0;   ///< presentations replayed
   double energy_pj = 0.0;            ///< total energy per classification
   double latency_ns = 0.0;           ///< steady-state latency per classification
   double throughput_hz = 0.0;        ///< classifications per second
@@ -55,6 +56,13 @@ struct ExecutionReport {
   std::optional<core::RunReport> resparc;
   /// Native typed report when the producer is the CMOS baseline backend.
   std::optional<cmos::CmosReport> cmos;
+
+  /// Per-timestep, per-stage hardware event record, summed over the
+  /// replayed presentations.  Populated by backends executing in sparse
+  /// mode ("+sparse" registry keys / BackendOptions::execution); the
+  /// headline numbers are identical either way — the stream adds
+  /// timestep resolution, not different totals.
+  std::optional<core::EventStream> events;
 
   /// Value of one named breakdown bucket (0 when absent).
   double bucket_pj(const std::string& name) const {
@@ -94,10 +102,15 @@ class Accelerator {
   virtual AcceleratorMetrics metrics() const = 0;
 
   /// True when this backend compiles topologies through the mapping-
-  /// strategy layer (honours BackendOptions::strategy and "/<strategy>"
+  /// strategy layer (honours BackendOptions::strategy and `"/<strategy>"`
   /// registry-key suffixes).  The registry rejects a strategy suffix on
   /// backends that return false instead of silently ignoring it.
   virtual bool supports_mapping_strategies() const { return false; }
+
+  /// True when this backend honours BackendOptions::execution (the
+  /// `"+<mode>"` registry-key suffix).  As with strategies, the registry
+  /// rejects a mode suffix on backends that return false.
+  virtual bool supports_execution_modes() const { return false; }
 };
 
 /// Converts a native RESPARC report to the unified form.

@@ -43,15 +43,20 @@ ExecutionReport to_execution_report(const cmos::CmosReport& report,
 
 // ----------------------------------------------------------------- RESPARC --
 
-ResparcBackend::ResparcBackend(core::ResparcConfig config, std::string strategy)
-    : chip_(std::move(config)), strategy_(std::move(strategy)) {
+ResparcBackend::ResparcBackend(core::ResparcConfig config, std::string strategy,
+                               snn::ExecutionMode execution)
+    : chip_(std::move(config)),
+      strategy_(std::move(strategy)),
+      execution_(execution) {
   require(!strategy_.empty(), "ResparcBackend: empty strategy name");
 }
 
 std::string ResparcBackend::name() const {
   const std::string& s = strategy();  // the loaded program's, once loaded
-  return s == "paper" ? chip_.config().label()
-                      : chip_.config().label() + "/" + s;
+  std::string name = s == "paper" ? chip_.config().label()
+                                  : chip_.config().label() + "/" + s;
+  if (execution_ == snn::ExecutionMode::kSparse) name += "+sparse";
+  return name;
 }
 
 void ResparcBackend::load(const snn::Topology& topology) {
@@ -67,7 +72,13 @@ void ResparcBackend::load_program(const snn::Topology& topology,
 ExecutionReport ResparcBackend::execute(
     std::span<const snn::SpikeTrace> traces) const {
   require(loaded(), "ResparcBackend: no network loaded");
-  return to_execution_report(chip_.execute(traces), name());
+  if (execution_ != snn::ExecutionMode::kSparse)
+    return to_execution_report(chip_.execute(traces), name());
+  core::EventStream stream;
+  ExecutionReport report =
+      to_execution_report(chip_.execute(traces, &stream), name());
+  report.events = std::move(stream);
+  return report;
 }
 
 AcceleratorMetrics ResparcBackend::metrics() const {

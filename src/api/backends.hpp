@@ -15,6 +15,7 @@
 #include "cmos/falcon.hpp"
 #include "compile/program.hpp"
 #include "core/resparc.hpp"
+#include "snn/execution.hpp"
 
 namespace resparc::api {
 
@@ -24,24 +25,42 @@ namespace resparc::api {
 /// compile::CompiledProgram loads directly via load_program.
 class ResparcBackend final : public Accelerator {
  public:
-  explicit ResparcBackend(core::ResparcConfig config = core::default_config(),
-                          std::string strategy = "paper");
+  /// Builds an unloaded backend for `config`; `strategy` picks the
+  /// compile-layer mapping policy and `execution` the trace-replay mode.
+  explicit ResparcBackend(
+      core::ResparcConfig config = core::default_config(),
+      std::string strategy = "paper",
+      snn::ExecutionMode execution = snn::ExecutionMode::kDense);
 
   /// Config label, e.g. "RESPARC-64"; non-default strategies append
-  /// "/<strategy>" ("RESPARC-64/greedy-pack").
+  /// `"/<strategy>"` and sparse execution appends "+sparse"
+  /// ("RESPARC-64/greedy-pack+sparse").
   std::string name() const override;
+  /// Compiles `topology` with the configured strategy and hosts it.
   void load(const snn::Topology& topology) override;
+  /// True once a network is loaded.
   bool loaded() const override { return chip_.loaded(); }
+  /// Replays the traces; in sparse mode the report additionally carries
+  /// the merged per-timestep event stream (ExecutionReport::events) with
+  /// headline numbers bit-for-bit identical to dense mode.
   ExecutionReport execute(
       std::span<const snn::SpikeTrace> traces) const override;
+  /// Fig. 8 metric roll-up of one NeuroCell at this configuration.
   AcceleratorMetrics metrics() const override;
+  /// RESPARC compiles through the mapping-strategy layer.
   bool supports_mapping_strategies() const override { return true; }
+  /// RESPARC honours BackendOptions::execution / `"+<mode>"` suffixes.
+  bool supports_execution_modes() const override { return true; }
+
+  /// The configured execution mode.
+  snn::ExecutionMode execution() const { return execution_; }
 
   /// Hosts a compiled artifact (fingerprint-checked against this config);
   /// strategy() and name() then reflect the program's strategy.
   void load_program(const snn::Topology& topology,
                     compile::CompiledProgram program);
 
+  /// The chip configuration this backend was built with.
   const core::ResparcConfig& config() const { return chip_.config(); }
   /// Strategy of the loaded program; before any load, the configured
   /// policy ("auto" resolves to the winning strategy once loaded — the
@@ -57,20 +76,27 @@ class ResparcBackend final : public Accelerator {
  private:
   core::ResparcChip chip_;
   std::string strategy_;
+  snn::ExecutionMode execution_ = snn::ExecutionMode::kDense;
 };
 
 /// The digital CMOS baseline behind the unified interface.
 class CmosBackend final : public Accelerator {
  public:
+  /// Builds an unloaded baseline backend for `config` (validated).
   explicit CmosBackend(cmos::FalconConfig config = {});
 
   std::string name() const override;  ///< "CMOS"
+  /// Copies `topology` and instantiates the FALCON accelerator over it.
   void load(const snn::Topology& topology) override;
+  /// True once a network is loaded.
   bool loaded() const override { return accelerator_.has_value(); }
+  /// Replays the traces through the digital baseline's cycle model.
   ExecutionReport execute(
       std::span<const snn::SpikeTrace> traces) const override;
+  /// Fig. 9 metric roll-up of the baseline tile.
   AcceleratorMetrics metrics() const override;
 
+  /// The baseline configuration this backend was built with.
   const cmos::FalconConfig& config() const { return config_; }
 
  private:

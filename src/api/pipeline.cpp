@@ -84,7 +84,7 @@ data::Dataset Pipeline::synthesize(std::size_t count) const {
                                    .noise = options_.noise,
                                    .jitter_pixels = options_.jitter_pixels};
   // The SVHN/CIFAR MLP benchmarks consume the 16x16x3 downsampled input
-  // (DESIGN.md section 3); any topology whose input matches the family's
+  // (docs/architecture.md); any topology whose input matches the family's
   // native shape gets the native images.  A one-image probe picks the
   // variant without synthesising the full native set twice.
   const std::size_t want = topology_->input_shape().size();
@@ -165,6 +165,7 @@ Workload Pipeline::run() {
     cfg.timesteps = options_.timesteps;
     cfg.encoder = options_.encoder;
     cfg.record_trace = true;
+    cfg.mode = options_.execution;
     traces.resize(n);
     predicted.resize(n);
     const snn::Network& net_ref = *net;
@@ -192,6 +193,7 @@ Workload Pipeline::run() {
     std::size_t correct = 0;
     for (std::size_t i = 0; i < n; ++i) {
       activity += snn::mean_activity(w.traces[i]);
+      w.activity.add(w.traces[i]);
       if (static_cast<int>(w.predicted[i]) == w.labels[i]) ++correct;
     }
     w.mean_activity = activity / static_cast<double>(n);
@@ -216,16 +218,27 @@ ExecutionReport merge_reports(std::vector<ExecutionReport>& parts) {
 
   if (all_resparc) {
     core::RunReport total;
+    core::EventStream stream;
+    bool all_streams = true;
     for (const auto& p : parts) {
       total.energy += p.resparc->energy;
       total.events += p.resparc->events;
       total.perf += p.resparc->perf;
       total.classifications += p.resparc->classifications;
+      if (p.events.has_value())
+        stream.merge(*p.events);
+      else
+        all_streams = false;
     }
     const double n = static_cast<double>(total.classifications);
     total.energy /= n;
     total.perf /= n;
-    return to_execution_report(total, parts.front().backend);
+    ExecutionReport merged =
+        to_execution_report(total, parts.front().backend);
+    // Sparse-mode parts each carry a per-presentation stream; the merged
+    // report sums them, matching the sequential chip_.execute(traces).
+    if (all_streams) merged.events = std::move(stream);
+    return merged;
   }
 
   if (all_cmos) {

@@ -14,7 +14,7 @@
 //
 // Trace simulation is batched over presentations on a thread pool with a
 // deterministic per-presentation RNG seed, so a run is bit-identical for
-// every thread count (DESIGN.md section 8).  Batched execute() reduces
+// every thread count (docs/execution.md).  Batched execute() reduces
 // per-trace native reports in presentation order, reproducing the legacy
 // sequential run_all() aggregation exactly.
 #pragma once
@@ -29,6 +29,7 @@
 #include "api/accelerator.hpp"
 #include "api/registry.hpp"
 #include "data/dataset.hpp"
+#include "snn/activity.hpp"
 #include "snn/benchmarks.hpp"
 #include "snn/network.hpp"
 #include "snn/simulator.hpp"
@@ -51,6 +52,11 @@ struct PipelineOptions {
   double noise = 0.03;               ///< synthetic dataset pixel noise
   double jitter_pixels = 1.5;        ///< synthetic dataset glyph jitter
   snn::EncoderConfig encoder{};      ///< input spike encoding
+  /// Simulation engine: kDense (historical path) or kSparse (AER event
+  /// path, snn/sparse_engine.hpp).  Bit-for-bit identical traces either
+  /// way; sparse wall-clock scales with spike count instead of network
+  /// size (docs/execution.md).
+  snn::ExecutionMode execution = snn::ExecutionMode::kDense;
   bool train = false;                ///< offline ANN training + conversion
   std::size_t train_images = 120;    ///< training split size (train = true)
   train::TrainConfig train_config{
@@ -60,26 +66,31 @@ struct PipelineOptions {
 /// Product of Pipeline::run(): a network plus everything recorded while
 /// presenting the traced image set.
 struct Workload {
+  /// Wraps the presented network (moved in by Pipeline::run()).
   explicit Workload(snn::Network net) : network(std::move(net)) {}
 
-  snn::Network network;
+  snn::Network network;                  ///< the simulated (calibrated) SNN
   std::vector<snn::SpikeTrace> traces;   ///< one per presentation
   std::vector<int> labels;               ///< label of each presentation
   std::vector<std::size_t> predicted;    ///< simulator argmax per presentation
   double mean_activity = 0.0;            ///< spikes/neuron/step over traces
+  /// Per-layer spike rasters + sparsity stats over the traced set (empty
+  /// when record_traces is off); what benches report as measured sparsity.
+  snn::ActivityTrace activity;
   double accuracy = 0.0;                 ///< argmax accuracy over traces
   data::Dataset test;                    ///< the traced (held-out) image set
   std::optional<train::TrainReport> training;  ///< set when options.train
   double ann_test_accuracy = 0.0;        ///< pre-conversion ANN accuracy
 
+  /// Shape of the presented network.
   const snn::Topology& topology() const { return network.topology(); }
 };
 
 /// One backend's row of a comparison.
 struct ComparisonEntry {
   std::string backend;        ///< registry key the entry was built from
-  ExecutionReport report;
-  AcceleratorMetrics metrics;
+  ExecutionReport report;     ///< replay result on this backend
+  AcceleratorMetrics metrics; ///< tile implementation metrics
   double energy_gain = 1.0;   ///< reference energy / this energy
   double speedup = 1.0;       ///< reference latency / this latency
 };
@@ -87,8 +98,9 @@ struct ComparisonEntry {
 /// The same traces through a set of backends; ratios are relative to the
 /// first entry (the reference baseline).
 struct ComparisonReport {
-  std::vector<ComparisonEntry> entries;
+  std::vector<ComparisonEntry> entries;  ///< one row per backend key
 
+  /// The baseline entry every ratio is relative to (the first backend).
   const ComparisonEntry& reference() const { return entries.front(); }
   /// Entry built from registry key `backend` (nullptr when absent).
   const ComparisonEntry* find(const std::string& backend) const;
@@ -99,14 +111,16 @@ struct ComparisonReport {
 /// Builder for the dataset -> network -> traces workflow.
 class Pipeline {
  public:
+  /// Builds a pipeline with the given option block.
   explicit Pipeline(PipelineOptions options = {});
 
   /// Replaces the option block (builder style).
   Pipeline& options(PipelineOptions options);
+  /// In-place access to the option block (for single-field tweaks).
   PipelineOptions& mutable_options() { return options_; }
 
   /// Workload of one paper benchmark: its dataset family (downsampled for
-  /// the SVHN/CIFAR MLP rows, DESIGN.md section 3) and its topology.
+  /// the SVHN/CIFAR MLP rows, docs/architecture.md) and its topology.
   Pipeline& benchmark(const snn::BenchmarkSpec& spec);
 
   /// Selects the synthetic dataset family explicitly.
@@ -131,7 +145,7 @@ class Pipeline {
 
   /// Runs the same traces through every named backend (first = reference
   /// baseline for the ratio columns).  Backend names accept the registry's
-  /// "/<strategy>" suffix ("resparc-64/greedy-pack"), so one comparison
+  /// `"/<strategy>"` suffix ("resparc-64/greedy-pack"), so one comparison
   /// can pit mapping strategies against each other as easily as
   /// architectures; options.strategy selects the default for keys without
   /// a suffix.

@@ -15,8 +15,13 @@
 // Any RESPARC key accepts a "/<strategy>" suffix selecting the mapping
 // strategy the compile layer uses (compile/strategy.hpp: "paper",
 // "greedy-pack", "balanced", "auto", plus anything added through
-// compile::register_strategy); the same choice is available
-// programmatically through BackendOptions::strategy.
+// compile::register_strategy) and a "+<mode>" suffix selecting the
+// execution mode ("dense"/"sparse", docs/execution.md):
+//
+//   auto sparse = api::make_accelerator("resparc-64/greedy-pack+sparse");
+//
+// The same choices are available programmatically through
+// BackendOptions::strategy and BackendOptions::execution.
 //
 // Future variants (analog-noise crossbars, sharded multi-chip, ...) plug in
 // via register_backend without touching any caller.
@@ -31,12 +36,14 @@
 #include "cmos/falcon.hpp"
 #include "common/error.hpp"
 #include "core/config.hpp"
+#include "snn/execution.hpp"
 
 namespace resparc::api {
 
 /// Thrown for unknown backend names; the message lists what is registered.
 class BackendError : public Error {
  public:
+  /// Wraps `what` with the "backend error:" prefix.
   explicit BackendError(const std::string& what)
       : Error("backend error: " + what) {}
 };
@@ -45,22 +52,29 @@ class BackendError : public Error {
 /// it understands and ignores the rest, so one options object can configure
 /// a whole comparison.
 struct BackendOptions {
-  core::ResparcConfig resparc = core::default_config();
-  cmos::FalconConfig cmos{};
+  core::ResparcConfig resparc = core::default_config();  ///< RESPARC slice
+  cmos::FalconConfig cmos{};                             ///< CMOS slice
   /// Mapping strategy for crossbar backends ("paper", "greedy-pack",
-  /// "balanced", "auto", ...).  A "/<strategy>" key suffix overrides this.
+  /// "balanced", "auto", ...).  A `"/<strategy>"` key suffix overrides this.
   /// Backends without a compile step (the CMOS baseline) ignore it.
   std::string strategy = "paper";
+  /// Execution mode for backends that support it (the RESPARC fabric):
+  /// kSparse makes execute() record the per-timestep hardware event
+  /// streams into ExecutionReport::events, with headline numbers
+  /// bit-for-bit identical to dense.  A `"+<mode>"` key suffix overrides
+  /// this.  Backends without mode support ignore it.
+  snn::ExecutionMode execution = snn::ExecutionMode::kDense;
 };
 
 /// Factory signature: build an accelerator from shared options.
 using BackendFactory =
     std::function<std::unique_ptr<Accelerator>(const BackendOptions&)>;
 
-/// Creates the backend registered under `name`; an optional "/<strategy>"
-/// suffix (e.g. "resparc-64/greedy-pack") selects the mapping strategy.
-/// Throws BackendError for unknown backend names or strategies — the
-/// message lists the registered backends and strategies.
+/// Creates the backend registered under `name`; optional suffixes select
+/// the mapping strategy and execution mode, in the canonical order
+/// `"base/<strategy>+<mode>"` (e.g. "resparc-64/greedy-pack+sparse").
+/// Throws BackendError for unknown backend names, strategies or modes —
+/// the message lists what is registered.
 std::unique_ptr<Accelerator> make_accelerator(const std::string& name,
                                               const BackendOptions& options = {});
 

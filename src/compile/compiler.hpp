@@ -36,10 +36,14 @@ struct CompileOptions {
   double activity = 0.10;
 };
 
+/// Runs the legalize → tile → place → route-estimate pass pipeline for
+/// one chip configuration and emits CompiledPrograms.
 class Compiler {
  public:
+  /// Builds a compiler for `config` (validated on first compile).
   explicit Compiler(core::ResparcConfig config, CompileOptions options = {});
 
+  /// The configuration programs are compiled (and fingerprinted) for.
   const core::ResparcConfig& config() const { return config_; }
 
   /// Runs the pass pipeline with the named strategy ("auto" selects the

@@ -1,7 +1,7 @@
 // Analytic cost model: scores a candidate mapping without spike traces.
 //
-// Mirrors the executor's event accounting (core/executor.cpp, DESIGN.md
-// section 7) but replaces recorded per-step spike counts with one assumed
+// Mirrors the executor's event accounting (core/executor.cpp,
+// docs/execution.md) but replaces recorded per-step spike counts with one assumed
 // activity factor (spikes/neuron/step), so candidates can be ranked at
 // compile time in microseconds instead of replaying presentations.  All
 // energies come from the same technology tables (tech::DigitalCosts,

@@ -33,17 +33,18 @@ namespace resparc::compile {
 /// configuration it is being loaded against.
 class CompileError : public Error {
  public:
+  /// Wraps `what` with the "compile error:" prefix.
   explicit CompileError(const std::string& what)
       : Error("compile error: " + what) {}
 };
 
 /// One row of the per-layer utilisation report.
 struct LayerUtilization {
-  std::size_t layer = 0;
+  std::size_t layer = 0;       ///< index into Topology::layers()
   std::string kind;            ///< "dense" / "conv" / "avgpool"
-  std::size_t mcas = 0;
-  std::size_t mpes = 0;
-  std::size_t synapses = 0;
+  std::size_t mcas = 0;        ///< crossbar arrays deployed for the layer
+  std::size_t mpes = 0;        ///< mPEs the arrays occupy
+  std::size_t synapses = 0;    ///< programmed crosspoints
   double utilization = 0.0;    ///< synapses / (mcas * N^2)
 };
 
@@ -55,8 +56,8 @@ struct CostEstimate {
   double cycles_per_step = 0.0;      ///< estimated pipelined cycles/timestep
   double utilization = 0.0;          ///< whole-chip crossbar utilisation
   std::size_t bus_boundaries = 0;    ///< layer boundaries on the serial bus
-  std::size_t total_mcas = 0;
-  std::size_t total_neurocells = 0;
+  std::size_t total_mcas = 0;        ///< deployed crossbar arrays
+  std::size_t total_neurocells = 0;  ///< occupied NeuroCells
   double activity = 0.0;             ///< assumed spikes/neuron/step
 
   /// Scalar used to rank candidates: energy-delay product per timestep.
@@ -66,12 +67,12 @@ struct CostEstimate {
 /// The compiler's output artifact.
 struct CompiledProgram {
   std::string strategy;              ///< registry key that produced it
-  std::string topology_name;
+  std::string topology_name;         ///< Topology::name() of the source
   std::string topology_summary;      ///< Topology::summary(), checked on load
-  std::uint64_t config_fingerprint = 0;
-  core::Mapping mapping;
-  CostEstimate cost;
-  std::vector<LayerUtilization> report;
+  std::uint64_t config_fingerprint = 0;  ///< ResparcConfig::fingerprint()
+  core::Mapping mapping;             ///< the placed crossbar mapping
+  CostEstimate cost;                 ///< analytic score of this mapping
+  std::vector<LayerUtilization> report;  ///< per-layer utilisation rows
 
   /// Writes the program in the versioned text format.
   void save(std::ostream& os) const;
@@ -84,6 +85,7 @@ struct CompiledProgram {
   /// recorded fingerprint.  On success mapping.config == config.
   static CompiledProgram load(std::istream& is,
                               const core::ResparcConfig& config);
+  /// load() from a file; throws CompileError when it cannot be opened.
   static CompiledProgram load_file(const std::string& path,
                                    const core::ResparcConfig& config);
 

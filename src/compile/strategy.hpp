@@ -53,6 +53,7 @@ class MappingStrategy {
                      const core::ResparcConfig& config) const = 0;
 };
 
+/// Factory signature strategies register under (mirrors BackendFactory).
 using StrategyFactory = std::function<std::unique_ptr<MappingStrategy>()>;
 
 /// Creates the strategy registered under `name`; throws CompileError for

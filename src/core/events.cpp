@@ -1,0 +1,38 @@
+#include "core/events.hpp"
+
+#include "common/error.hpp"
+
+namespace resparc::core {
+
+StepEvents EventStream::step_total(std::size_t t) const {
+  require(t < timesteps_, "event stream: timestep out of range");
+  StepEvents total;
+  for (std::size_t s = 0; s < stages_; ++s) total += at(t, s);
+  return total;
+}
+
+StepEvents EventStream::stage_total(std::size_t stage) const {
+  require(stage < stages_, "event stream: stage out of range");
+  StepEvents total;
+  for (std::size_t t = 0; t < timesteps_; ++t) total += at(t, stage);
+  return total;
+}
+
+StepEvents EventStream::total() const {
+  StepEvents total;
+  for (const StepEvents& cell : cells_) total += cell;
+  return total;
+}
+
+void EventStream::merge(const EventStream& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  require(timesteps_ == other.timesteps_ && stages_ == other.stages_,
+          "event stream: cannot merge streams of different shapes");
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+}
+
+}  // namespace resparc::core

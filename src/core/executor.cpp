@@ -56,6 +56,11 @@ std::size_t Executor::active_in_slice(const InputSlice& slice,
 }
 
 RunReport Executor::run(const snn::SpikeTrace& trace) const {
+  return run(trace, nullptr);
+}
+
+RunReport Executor::run(const snn::SpikeTrace& trace,
+                        EventStream* stream) const {
   const ResparcConfig& cfg = mapping_.config;
   const tech::Technology& t = cfg.technology;
   const tech::DigitalCosts& d = t.digital;
@@ -79,6 +84,9 @@ RunReport Executor::run(const snn::SpikeTrace& trace) const {
   double cycles_pipelined = 0.0;
   double cycles_serial = 0.0;
 
+  if (stream)
+    *stream = EventStream(T, topology_.layer_count() + 1);
+
   for (std::size_t step = 0; step < T; ++step) {
     double stage_max = 0.0;
 
@@ -92,6 +100,12 @@ RunReport Executor::run(const snn::SpikeTrace& trace) const {
       ev.sram_reads += sent;
       ev.bus_words += sent;
       if (cfg.event_driven) ev.bus_skips += total - nz;
+      if (stream) {
+        StepEvents& cell = stream->at(step, 0);
+        cell.words_sent = sent;
+        cell.words_skipped = cfg.event_driven ? total - nz : 0;
+        cell.neuron_fires = in0.count();
+      }
       const double stage = kBusCyclesPerWord * static_cast<double>(sent);
       stage_max = std::max(stage_max, stage);
       cycles_serial += stage;
@@ -103,12 +117,15 @@ RunReport Executor::run(const snn::SpikeTrace& trace) const {
       const SpikeVector& in_vec = trace.layers[l][step];
       const SpikeVector& out_vec = trace.layers[l + 1][step];
 
+      StepEvents* cell = stream ? &stream->at(step, l + 1) : nullptr;
+
       bool layer_active = false;
       for (const McaGroup& g : lm.groups) {
         const std::size_t bits = slice_bits(g.slice, li.in_shape);
         const std::size_t active = active_in_slice(g.slice, li.in_shape, in_vec);
         if (active == 0 && cfg.event_driven) {
           ev.mca_skips += g.mca_count;
+          if (cell) cell->mca_skips += g.mca_count;
           continue;
         }
         layer_active = layer_active || active > 0;
@@ -138,6 +155,10 @@ RunReport Executor::run(const snn::SpikeTrace& trace) const {
               sneak * std::max(0.0, total_cells - driven_cells) * cell_off_pj;
         }
         ev.mca_activations += g.mca_count;
+        if (cell) {
+          cell->mca_reads += g.mca_count;
+          cell->active_rows += active * g.mca_count;
+        }
         // The iBUFF feeds all N row drivers of each array regardless of how
         // many rows carry mapped synapses, and every physical column's
         // sense/interface path cycles on a read, used or not.
@@ -150,6 +171,7 @@ RunReport Executor::run(const snn::SpikeTrace& trace) const {
 
       const std::size_t fires = out_vec.count();
       ev.neuron_fires += fires;
+      if (cell) cell->neuron_fires = fires;
 
       if ((layer_active || !cfg.event_driven) &&
           lm.ccu_transfers_per_neuron > 0)
@@ -171,6 +193,10 @@ RunReport Executor::run(const snn::SpikeTrace& trace) const {
       } else {
         ev.switch_flits += sent;
         if (cfg.event_driven) ev.switch_skips += total - nz;
+      }
+      if (cell) {
+        cell->words_sent += sent;
+        if (cfg.event_driven) cell->words_skipped += total - nz;
       }
       // oBUFF write+read of every sent flit plus a tBUFF address lookup.
       ev.buffer_bits += sent * (2 * static_cast<std::size_t>(t.flit_bits) + 16);
@@ -221,15 +247,24 @@ RunReport Executor::run(const snn::SpikeTrace& trace) const {
 }
 
 RunReport Executor::run_all(std::span<const snn::SpikeTrace> traces) const {
+  return run_all(traces, nullptr);
+}
+
+RunReport Executor::run_all(std::span<const snn::SpikeTrace> traces,
+                            EventStream* stream) const {
   require(!traces.empty(), "executor: no traces");
   RunReport total;
+  EventStream merged;
   for (const auto& trace : traces) {
-    const RunReport r = run(trace);
+    EventStream local;
+    const RunReport r = run(trace, stream ? &local : nullptr);
+    if (stream) merged.merge(local);
     total.energy += r.energy;
     total.events += r.events;
     total.perf += r.perf;
     total.classifications += r.classifications;
   }
+  if (stream) *stream = std::move(merged);
   const double n = static_cast<double>(total.classifications);
   total.energy /= n;
   total.perf /= n;

@@ -10,10 +10,11 @@
 //   * all-zero words read from the input SRAM are not broadcast on the bus.
 //
 // Event counts are converted to energy with the technology cost tables and
-// to cycles with the pipeline model described in DESIGN.md section 7.
+// to cycles with the pipeline model described in docs/execution.md.
 #pragma once
 
 #include "core/energy.hpp"
+#include "core/events.hpp"
 #include "core/mapper.hpp"
 #include "snn/topology.hpp"
 #include "snn/trace.hpp"
@@ -37,9 +38,21 @@ class Executor {
   /// record_trace=true) and returns the per-classification report.
   RunReport run(const snn::SpikeTrace& trace) const;
 
+  /// Same replay, additionally filling `stream` (when non-null) with the
+  /// per-timestep, per-stage event record the counters are summed from —
+  /// the actual spike-driven event streams rather than their totals
+  /// (docs/execution.md).  The returned report is bit-for-bit identical
+  /// to run(trace).
+  RunReport run(const snn::SpikeTrace& trace, EventStream* stream) const;
+
   /// Replays many presentations; energy/perf are averaged per
   /// classification, events are summed.
   RunReport run_all(std::span<const snn::SpikeTrace> traces) const;
+
+  /// run_all with each presentation's event stream merged into `stream`
+  /// (when non-null); the report is bit-for-bit identical to run_all.
+  RunReport run_all(std::span<const snn::SpikeTrace> traces,
+                    EventStream* stream) const;
 
   const Mapping& mapping() const { return mapping_; }
 

@@ -82,4 +82,10 @@ RunReport ResparcChip::execute(std::span<const snn::SpikeTrace> traces) const {
   return executor_->run_all(traces);
 }
 
+RunReport ResparcChip::execute(std::span<const snn::SpikeTrace> traces,
+                               EventStream* stream) const {
+  require(executor_ != nullptr, "ResparcChip: no network loaded");
+  return executor_->run_all(traces, stream);
+}
+
 }  // namespace resparc::core

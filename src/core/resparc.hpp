@@ -79,6 +79,12 @@ class ResparcChip {
   /// Replays a set of traces; energy/perf averaged per classification.
   RunReport execute(std::span<const snn::SpikeTrace> traces) const;
 
+  /// Replays a set of traces, merging each presentation's per-timestep
+  /// event stream into `stream` (when non-null); the report is
+  /// bit-for-bit identical to the stream-less overload.
+  RunReport execute(std::span<const snn::SpikeTrace> traces,
+                    EventStream* stream) const;
+
  private:
   ResparcConfig config_;
   std::optional<snn::Topology> topology_;

@@ -2,7 +2,7 @@
 //
 // The real datasets are not available in this offline environment, so each
 // family is replaced by a procedural generator that preserves the two
-// properties the paper's experiments actually consume (DESIGN.md section 5):
+// properties the paper's experiments actually consume (docs/architecture.md):
 //
 //   1. *Spike statistics.*  MNIST-like images are bright glyph strokes on a
 //      black background — long zero runs, the driver of the event-driven

@@ -1,0 +1,163 @@
+#include "snn/activity.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+
+namespace resparc::snn {
+
+namespace {
+
+constexpr const char* kMagic = "resparc-activity-trace";
+constexpr int kVersion = 1;
+
+void expect_token(std::istream& is, const char* expect) {
+  std::string tok;
+  if (!(is >> tok) || tok != expect)
+    throw ActivityError("expected \"" + std::string(expect) + "\", got \"" +
+                        tok + "\"");
+}
+
+template <typename T>
+T read_value(std::istream& is, const char* field) {
+  T v{};
+  if (!(is >> v))
+    throw ActivityError("malformed field \"" + std::string(field) + "\"");
+  return v;
+}
+
+std::size_t read_count(std::istream& is, const char* field, std::size_t max) {
+  const auto v = read_value<std::size_t>(is, field);
+  if (v > max)
+    throw ActivityError("implausible count " + std::to_string(v) +
+                        " in field \"" + std::string(field) + "\"");
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t LayerActivityRaster::total_spikes() const {
+  return std::accumulate(spikes_per_step.begin(), spikes_per_step.end(),
+                         std::uint64_t{0});
+}
+
+double LayerActivityRaster::activity(std::size_t presentations) const {
+  const double denom = static_cast<double>(neurons) *
+                       static_cast<double>(spikes_per_step.size()) *
+                       static_cast<double>(presentations);
+  return denom > 0.0 ? static_cast<double>(total_spikes()) / denom : 0.0;
+}
+
+std::size_t LayerActivityRaster::silent_steps() const {
+  std::size_t n = 0;
+  for (const std::uint64_t s : spikes_per_step)
+    if (s == 0) ++n;
+  return n;
+}
+
+void ActivityTrace::add(const SpikeTrace& trace) {
+  if (layers.empty()) {
+    layers.resize(trace.layer_count());
+    for (std::size_t l = 0; l < trace.layer_count(); ++l) {
+      layers[l].neurons =
+          trace.layers[l].empty() ? 0 : trace.layers[l].front().size();
+      layers[l].spikes_per_step.assign(trace.layers[l].size(), 0);
+    }
+  }
+  if (trace.layer_count() != layers.size())
+    throw ActivityError("trace has " + std::to_string(trace.layer_count()) +
+                        " layers, accumulator has " +
+                        std::to_string(layers.size()));
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    LayerActivityRaster& raster = layers[l];
+    const auto& steps = trace.layers[l];
+    if (steps.size() != raster.spikes_per_step.size())
+      throw ActivityError("trace layer " + std::to_string(l) + " has " +
+                          std::to_string(steps.size()) +
+                          " timesteps, accumulator has " +
+                          std::to_string(raster.spikes_per_step.size()));
+    for (std::size_t t = 0; t < steps.size(); ++t)
+      raster.spikes_per_step[t] += steps[t].count();
+  }
+  ++presentations;
+}
+
+ActivityTrace ActivityTrace::from_trace(const SpikeTrace& trace) {
+  ActivityTrace a;
+  a.add(trace);
+  return a;
+}
+
+double ActivityTrace::layer_activity(std::size_t l) const {
+  if (l >= layers.size()) throw ActivityError("layer out of range");
+  return layers[l].activity(presentations);
+}
+
+double ActivityTrace::mean_activity() const {
+  // Slot-weighted like snn::mean_activity: total spikes over total
+  // (neuron x timestep x presentation) slots, so large layers dominate.
+  std::uint64_t spikes = 0;
+  double slots = 0.0;
+  for (const LayerActivityRaster& raster : layers) {
+    spikes += raster.total_spikes();
+    slots += static_cast<double>(raster.neurons) *
+             static_cast<double>(raster.spikes_per_step.size()) *
+             static_cast<double>(presentations);
+  }
+  return slots > 0.0 ? static_cast<double>(spikes) / slots : 0.0;
+}
+
+double ActivityTrace::input_sparsity() const {
+  return layers.empty() ? 1.0 : 1.0 - layer_activity(0);
+}
+
+void ActivityTrace::save(std::ostream& os) const {
+  os << kMagic << " v" << kVersion << "\n";
+  os << "presentations " << presentations << "\n";
+  os << "layers " << layers.size() << "\n";
+  for (const LayerActivityRaster& raster : layers) {
+    os << "layer " << raster.neurons << " " << raster.spikes_per_step.size();
+    for (const std::uint64_t s : raster.spikes_per_step) os << " " << s;
+    os << "\n";
+  }
+}
+
+bool ActivityTrace::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  save(out);
+  return static_cast<bool>(out);
+}
+
+ActivityTrace ActivityTrace::load(std::istream& is) {
+  ActivityTrace a;
+  expect_token(is, kMagic);
+  std::string version;
+  if (!(is >> version) || version != "v" + std::to_string(kVersion))
+    throw ActivityError("unsupported version \"" + version + "\"");
+  expect_token(is, "presentations");
+  a.presentations = read_value<std::size_t>(is, "presentations");
+  expect_token(is, "layers");
+  const std::size_t layers = read_count(is, "layer count", 1u << 20);
+  a.layers.reserve(std::min<std::size_t>(layers, 4096));
+  for (std::size_t l = 0; l < layers; ++l) {
+    expect_token(is, "layer");
+    LayerActivityRaster raster;
+    raster.neurons = read_value<std::size_t>(is, "neurons");
+    const std::size_t steps = read_count(is, "timestep count", 1u << 24);
+    raster.spikes_per_step.reserve(std::min<std::size_t>(steps, 65536));
+    for (std::size_t t = 0; t < steps; ++t)
+      raster.spikes_per_step.push_back(
+          read_value<std::uint64_t>(is, "spike count"));
+    a.layers.push_back(std::move(raster));
+  }
+  return a;
+}
+
+ActivityTrace ActivityTrace::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ActivityError("cannot open \"" + path + "\"");
+  return load(in);
+}
+
+}  // namespace resparc::snn

@@ -1,7 +1,7 @@
 // The six SNN benchmarks of paper Fig. 10.
 //
 // Layer widths were reverse-engineered so that the topology's neuron total
-// equals the paper's figure exactly (see DESIGN.md section 3 for the
+// equals the paper's figure exactly (see docs/architecture.md for the
 // derivation and for the synapse-count convention note):
 //
 //   MNIST  MLP  784-800-784-10                        2,378 neurons (incl. input)

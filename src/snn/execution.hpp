@@ -1,0 +1,25 @@
+// Execution-mode vocabulary shared by the simulator, the executor and the
+// api layer (docs/execution.md).
+//
+// Kept in its own tiny header so api/registry.hpp and core/executor.hpp
+// can name the mode without pulling in the whole simulator stack.
+#pragma once
+
+#include <string>
+
+namespace resparc::snn {
+
+/// How spike workloads are evaluated.
+enum class ExecutionMode {
+  kDense,   ///< per-timestep dense buffers: every neuron visited every step
+  kSparse,  ///< AER event path (snn/sparse_engine.hpp): cost scales with spikes
+};
+
+/// "dense" / "sparse" — the names the api registry's "+<mode>" key suffix
+/// and bench output use.
+std::string to_string(ExecutionMode mode);
+
+/// Parses "dense"/"sparse"; returns false for anything else.
+bool parse_execution_mode(const std::string& text, ExecutionMode& out);
+
+}  // namespace resparc::snn

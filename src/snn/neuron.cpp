@@ -32,6 +32,32 @@ std::size_t IfPopulation::step(std::span<const float> current,
   return fired;
 }
 
+void IfPopulation::step_at(std::span<const std::uint32_t> indices,
+                           std::span<const float> current,
+                           std::vector<std::uint32_t>& fired_out,
+                           std::vector<std::uint32_t>& hot_out) {
+  if (current.size() != membrane_.size())
+    throw ShapeError("IfPopulation::step_at: span size mismatch");
+  const float vth = static_cast<float>(params_.v_threshold);
+  const float vreset = static_cast<float>(params_.v_reset);
+  for (const std::uint32_t i : indices) {
+    // Same arithmetic as step(), minus the leak branch (callers guarantee
+    // leak_per_step == 0, where skipping silent neurons is exact).
+    float v = membrane_[i] + current[i];
+    if (v >= vth) {
+      fired_out.push_back(i);
+      if (params_.subtractive_reset) {
+        v -= vth;
+        if (v < vreset) v = vreset;
+      } else {
+        v = vreset;
+      }
+      if (v >= vth) hot_out.push_back(i);
+    }
+    membrane_[i] = v;
+  }
+}
+
 void IfPopulation::reset() {
   membrane_.assign(membrane_.size(), static_cast<float>(params_.v_reset));
 }

@@ -35,6 +35,20 @@ class IfPopulation {
   std::size_t step(std::span<const float> current,
                    std::span<std::uint8_t> spikes_out);
 
+  /// Sparse variant of step(): integrates `current` for just the neurons
+  /// named in `indices` (which must be duplicate-free) and appends every
+  /// firing index to `fired_out`.  A stepped neuron whose post-step
+  /// membrane still sits at or above threshold is appended to `hot_out`:
+  /// under subtractive reset it fires again next step even with zero
+  /// input, so the sparse engine must re-step it.  Bit-for-bit equivalent
+  /// to step() only when leak_per_step == 0 and v_threshold > 0 — the
+  /// regime where un-stepped silent neurons are provably inert; callers
+  /// (snn/sparse_engine.cpp) check that and fall back to step() otherwise.
+  void step_at(std::span<const std::uint32_t> indices,
+               std::span<const float> current,
+               std::vector<std::uint32_t>& fired_out,
+               std::vector<std::uint32_t>& hot_out);
+
   /// Resets all membranes to v_reset (between input presentations).
   void reset();
 

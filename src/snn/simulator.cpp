@@ -4,8 +4,25 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "snn/sparse_engine.hpp"
 
 namespace resparc::snn {
+
+std::string to_string(ExecutionMode mode) {
+  return mode == ExecutionMode::kSparse ? "sparse" : "dense";
+}
+
+bool parse_execution_mode(const std::string& text, ExecutionMode& out) {
+  if (text == "dense") {
+    out = ExecutionMode::kDense;
+    return true;
+  }
+  if (text == "sparse") {
+    out = ExecutionMode::kSparse;
+    return true;
+  }
+  return false;
+}
 
 Simulator::Simulator(const Network& net, SimConfig config)
     : net_(net), config_(config), encoder_(config.encoder) {
@@ -83,6 +100,12 @@ SimResult Simulator::run(std::span<const float> image, Rng& rng) {
   const Topology& topo = net_.topology();
   require(image.size() == topo.input_shape().size(),
           "simulator: image size does not match topology input");
+  return config_.mode == ExecutionMode::kSparse ? run_sparse(image, rng)
+                                                : run_dense(image, rng);
+}
+
+SimResult Simulator::run_dense(std::span<const float> image, Rng& rng) {
+  const Topology& topo = net_.topology();
 
   // Per-layer populations and scratch buffers live for one presentation.
   std::vector<IfPopulation> pops;
@@ -126,6 +149,49 @@ SimResult Simulator::run(std::span<const float> image, Rng& rng) {
     const SpikeVector& out = prev_holder.back();
     for (std::size_t i = 0; i < out.size(); ++i)
       if (out.get(i)) ++result.output_spike_counts[i];
+  }
+
+  result.predicted_class = static_cast<std::size_t>(std::distance(
+      result.output_spike_counts.begin(),
+      std::max_element(result.output_spike_counts.begin(),
+                       result.output_spike_counts.end())));
+  return result;
+}
+
+SimResult Simulator::run_sparse(std::span<const float> image, Rng& rng) {
+  const Topology& topo = net_.topology();
+
+  SimResult result;
+  result.output_spike_counts.assign(topo.output_count(), 0);
+  const std::size_t T = config_.timesteps;
+  if (config_.record_trace) {
+    result.trace.layers.resize(topo.layer_count() + 1);
+    for (auto& lt : result.trace.layers) lt.reserve(T);
+  }
+
+  const auto input_spikes = encoder_.encode(image, T, rng);
+
+  SparseEngine engine(net_);
+  // Double-buffered AER lists: the input side of one layer is the output
+  // side of the previous one.
+  std::vector<std::uint32_t> active_in;
+  std::vector<std::uint32_t> active_out;
+
+  for (std::size_t t = 0; t < T; ++t) {
+    active_in.clear();
+    input_spikes[t].append_active(active_in);
+    result.total_spikes += active_in.size();
+    if (config_.record_trace) result.trace.layers[0].push_back(input_spikes[t]);
+
+    for (std::size_t l = 0; l < topo.layer_count(); ++l) {
+      const SpikeVector& out = engine.step_layer(l, active_in, active_out);
+      active_in.swap(active_out);
+      result.total_spikes += active_in.size();
+      if (config_.record_trace) result.trace.layers[l + 1].push_back(out);
+    }
+
+    // active_in now holds the output layer's spikes for this step.
+    for (const std::uint32_t i : active_in) ++result.output_spike_counts[i];
   }
 
   result.predicted_class = static_cast<std::size_t>(std::distance(

@@ -13,10 +13,12 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "snn/encoder.hpp"
+#include "snn/execution.hpp"
 #include "snn/network.hpp"
 #include "snn/trace.hpp"
 
@@ -27,6 +29,9 @@ struct SimConfig {
   std::size_t timesteps = 32;  ///< presentation length per classification
   EncoderConfig encoder{};     ///< input spike encoding
   bool record_trace = true;    ///< keep the packed trace (off for accuracy-only runs)
+  ExecutionMode mode = ExecutionMode::kDense;  ///< execution engine; the two
+                                               ///< modes are bit-for-bit
+                                               ///< identical (test-enforced)
 };
 
 /// Result of one presentation.
@@ -58,6 +63,11 @@ class Simulator {
   /// Computes input current into layer l from the previous layer's spikes.
   void accumulate_current(std::size_t l, const SpikeVector& prev_spikes,
                           std::span<float> current_out) const;
+
+  /// run() body for ExecutionMode::kDense (the historical path).
+  SimResult run_dense(std::span<const float> image, Rng& rng);
+  /// run() body for ExecutionMode::kSparse (snn/sparse_engine.hpp).
+  SimResult run_sparse(std::span<const float> image, Rng& rng);
 
   const Network& net_;
   SimConfig config_;

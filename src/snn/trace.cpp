@@ -48,6 +48,17 @@ bool SpikeVector::none_in_range(std::size_t begin, std::size_t end) const {
   return count_range(begin, end) == 0;
 }
 
+void SpikeVector::append_active(std::vector<std::uint32_t>& out) const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+      out.push_back(static_cast<std::uint32_t>((w << 6) + bit));
+      word &= word - 1;  // clear the lowest set bit
+    }
+  }
+}
+
 std::size_t SpikeTrace::layer_spike_count(std::size_t l) const {
   std::size_t n = 0;
   for (const auto& v : layers[l]) n += v.count();

@@ -32,6 +32,9 @@ class SpikeVector {
     return (words_[i >> 6] >> (i & 63)) & 1u;
   }
   void set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+  void clear(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
 
   /// Raw packed words (the trailing word's unused bits are zero).
   std::span<const std::uint64_t> words() const { return words_; }
@@ -48,6 +51,12 @@ class SpikeVector {
 
   /// True when no bit is set within [begin, end).
   bool none_in_range(std::size_t begin, std::size_t end) const;
+
+  /// Appends the index of every set bit to `out` in ascending order — the
+  /// AER-style active-event list consumed by the sparse execution engine
+  /// (snn/sparse_engine.hpp).  Zero words are skipped wholesale, so the
+  /// cost is O(words + spikes) rather than O(neurons).
+  void append_active(std::vector<std::uint32_t>& out) const;
 
  private:
   std::size_t neurons_ = 0;

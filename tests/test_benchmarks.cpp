@@ -8,7 +8,7 @@ namespace {
 
 TEST(Benchmarks, NeuronTotalsMatchPaperExactly) {
   // The headline property: every topology reproduces the paper's neuron
-  // count under its row's counting convention (DESIGN.md section 3).
+  // count under its row's counting convention (docs/architecture.md).
   for (const auto& b : paper_benchmarks()) {
     EXPECT_EQ(b.neuron_count(), b.paper_neurons)
         << b.topology.name() << " (" << b.topology.summary() << ")";

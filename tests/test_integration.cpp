@@ -1,6 +1,6 @@
 // Integration tests: the paper's headline shapes on reduced-scale runs.
 // These are the cheap, always-on versions of the claims the benches
-// reproduce at paper scale (see bench/ and DESIGN.md section 6).
+// reproduce at paper scale (see bench/ and docs/architecture.md).
 #include <gtest/gtest.h>
 
 #include "cmos/falcon.hpp"

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Enforce `///` doc-comment coverage on the public API headers.
+
+Doxygen (see Doxyfile) renders whatever documentation exists; this
+checker is what *fails CI* when a public declaration in the given
+headers has no documentation at all.  A declaration counts as
+documented when the nearest preceding non-blank, non-template line is
+part of a `///` block (or the declaration carries a trailing `///<`).
+
+Checked declaration kinds:
+  * namespace-scope types (`struct` / `class` / `enum` / type aliases);
+  * namespace-scope free functions and constants;
+  * public member functions and data members inside classes/structs.
+
+Deliberately skipped: private/protected sections, using-directives,
+forward declarations, constructors named after the file's main class
+when trivially defaulted, and anything inside a function body.
+
+Usage: check_doc_comments.py HEADER [HEADER...]
+Exits non-zero listing every undocumented declaration.
+"""
+import re
+import sys
+
+TYPE_RE = re.compile(r"^(template\s*<.*>\s*)?(struct|class|enum(\s+class)?|union)\s+\w+")
+ALIAS_RE = re.compile(r"^using\s+\w+\s*=")
+FUNC_RE = re.compile(r"^[\w:&<>,*~\[\]\s]+\s[\w~]+\s*\(")
+CONST_RE = re.compile(r"^(inline\s+)?(constexpr|const)\s.*=")
+ACCESS_RE = re.compile(r"^\s*(public|private|protected)\s*:")
+
+
+def is_doc_line(line):
+    stripped = line.strip()
+    return stripped.startswith("///") or stripped.endswith("*/") or \
+        stripped.startswith("*")
+
+
+def has_doc_above(lines, index):
+    """True when the declaration at lines[index] is preceded by a ///
+    block (template lines are looked through)."""
+    i = index - 1
+    while i >= 0:
+        stripped = lines[i].strip()
+        if stripped.startswith("template") or stripped == "":
+            i -= 1
+            continue
+        return is_doc_line(lines[i])
+    return False
+
+
+def check_header(path, errors):
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+
+    depth = 0            # brace depth, namespaces not counted
+    access_public = True  # current access level inside a class
+    in_class_depth = None
+    pending_class = False
+    prev_code = ""       # previous non-blank code line (continuation check)
+
+    for index, raw in enumerate(lines):
+        line = raw.rstrip()
+        stripped = line.strip()
+
+        if ACCESS_RE.match(stripped):
+            access_public = stripped.startswith("public")
+            continue
+
+        ns = stripped.startswith("namespace")
+        at_namespace_scope = depth == 0 and not ns
+        in_class_body = in_class_depth is not None and depth == in_class_depth
+
+        # Continuation of a multi-line declaration (previous code line is
+        # unterminated) or a constructor initializer list: not a new
+        # declaration.
+        continuation = prev_code.endswith((",", "(", "=", "&&", "||", "+")) \
+            or stripped.startswith(":")
+        if stripped and not stripped.startswith("//"):
+            prev_code = stripped
+
+        interesting = None
+        if continuation:
+            pass
+        elif at_namespace_scope:
+            if TYPE_RE.match(stripped) and not stripped.endswith(";"):
+                interesting = "type"
+            elif ALIAS_RE.match(stripped):
+                interesting = "alias"
+            elif (FUNC_RE.match(stripped) or CONST_RE.match(stripped)) and \
+                    not stripped.startswith(("return", "if", "for", "while")):
+                interesting = "function"
+        elif in_class_body and access_public:
+            if TYPE_RE.match(stripped) and not stripped.endswith(";"):
+                interesting = "nested type"
+            elif FUNC_RE.match(stripped) and "= delete" not in stripped \
+                    and not re.match(r"^(virtual\s+)?~\w+\(\)\s*"
+                                     r"(=\s*default)?\s*;", stripped):
+                interesting = "member"
+            elif re.match(r"^[\w:<>,\s*&]+\s+\w+(\s*=\s*[^=]+)?;$", stripped) \
+                    and not stripped.startswith("using"):
+                interesting = "field"
+
+        if interesting and not has_doc_above(lines, index) and \
+                "///<" not in line:
+            errors.append(f"{path}:{index + 1}: undocumented {interesting}: "
+                          f"{stripped[:70]}")
+
+        # Track when we enter a class/struct body at namespace scope so
+        # member checks know their depth; crude but sufficient for this
+        # codebase's formatting (one declaration per line).
+        if at_namespace_scope and TYPE_RE.match(stripped) and \
+                not stripped.endswith(";"):
+            pending_class = True
+        opens = line.count("{")
+        closes = line.count("}")
+        if ns:
+            continue  # namespaces do not add tracked depth
+        if opens:
+            if pending_class and in_class_depth is None:
+                in_class_depth = depth + 1
+                access_public = stripped.startswith("struct") or \
+                    "struct" in stripped
+                pending_class = False
+        depth += opens - closes
+        if in_class_depth is not None and depth < in_class_depth:
+            in_class_depth = None
+            access_public = True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        check_header(path, errors)
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    if not errors:
+        print(f"ok: {len(argv) - 1} header(s), every public declaration "
+              "documented")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker (the repo's lychee equivalent).
+
+Checks every [text](target) and bare relative link in the given markdown
+files:
+
+  * relative file links must resolve to an existing file or directory
+    (relative to the linking file);
+  * intra-document anchors (#heading) must match a heading slug in the
+    target document;
+  * external http(s)/mailto links are syntax-checked only — CI stays
+    deterministic with no network access.
+
+Usage: check_links.py FILE.md [FILE.md...]
+Exits non-zero listing every broken link.
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def heading_slugs(text):
+    """GitHub-style anchor slugs for every heading in `text`."""
+    slugs = set()
+    for heading in HEADING_RE.findall(CODE_FENCE_RE.sub("", text)):
+        slug = re.sub(r"[`*_]", "", heading.strip().lower())
+        slug = re.sub(r"[^\w\s.-]", "", slug)
+        slug = re.sub(r"[\s.]+", "-", slug).strip("-")
+        slugs.add(slug)
+    return slugs
+
+
+def check_file(path, errors):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        errors.append(f"{path}: unreadable: {exc}")
+        return
+    base = os.path.dirname(os.path.abspath(path))
+    for match in LINK_RE.finditer(CODE_FENCE_RE.sub("", text)):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # external: syntax only (offline checker)
+        if target.startswith("#"):
+            if target[1:] not in heading_slugs(text):
+                errors.append(f"{path}: broken anchor '{target}'")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link '{target}' "
+                          f"(resolved {os.path.relpath(resolved)})")
+            continue
+        if anchor and os.path.isfile(resolved) and resolved.endswith(".md"):
+            with open(resolved, encoding="utf-8") as handle:
+                if anchor not in heading_slugs(handle.read()):
+                    errors.append(
+                        f"{path}: broken anchor '{target}' in "
+                        f"{os.path.relpath(resolved)}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        check_file(path, errors)
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    if not errors:
+        print(f"ok: {len(argv) - 1} markdown file(s), all links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

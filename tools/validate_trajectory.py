@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate bench-trajectory JSON files against the documented schema.
+
+Every tracked bench emits the envelope described in
+bench/trajectory/README.md:
+
+    {
+      "bench": "<name>",            # bench identifier
+      "schema_version": 1,
+      "commit": "<sha or unknown>", # RESPARC_GIT_COMMIT at generation time
+      "config": { ... },            # knobs the run was generated with
+      "metrics": { "results": [ {row}, ... ] }
+    }
+
+The validator checks the envelope, the per-bench required row fields, and
+(for bench_sparse_execution) the semantic acceptance properties: sparse
+throughput rising with input sparsity (with slack for timing jitter) and
+at least a 2x dense-to-sparse speedup somewhere in the >= 90%-sparsity
+regime.
+
+Usage: validate_trajectory.py FILE [FILE...]
+Exits non-zero listing every violation.
+"""
+import json
+import sys
+
+# Required numeric fields per tracked bench (rows may carry more).
+ROW_FIELDS = {
+    "pipeline_throughput": ["threads", "simulate_tps", "execute_resparc_tps",
+                            "execute_cmos_tps"],
+    "ablation_mapping_strategy": ["mca", "utilization", "mcas", "neurocells",
+                                  "bus_boundaries", "energy_uj", "eps"],
+    "bench_sparse_execution": ["rate", "input_sparsity", "mean_activity",
+                               "dense_tps", "sparse_tps", "speedup"],
+}
+
+# Fresh CI runs re-measure wall clock; allow this much dip before calling
+# the sparse-throughput curve non-monotonic.
+JITTER_SLACK = 0.8
+
+
+def fail(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def validate_envelope(doc, path, errors):
+    for key, kind in (("bench", str), ("schema_version", int),
+                      ("commit", str), ("config", dict), ("metrics", dict)):
+        if key not in doc:
+            fail(errors, path, f"missing top-level field '{key}'")
+            return None
+        if not isinstance(doc[key], kind):
+            fail(errors, path,
+                 f"field '{key}' should be {kind.__name__}, "
+                 f"got {type(doc[key]).__name__}")
+            return None
+    if doc["schema_version"] != 1:
+        fail(errors, path, f"unsupported schema_version {doc['schema_version']}")
+        return None
+    if not doc["commit"]:
+        fail(errors, path, "empty commit field")
+    results = doc["metrics"].get("results")
+    if not isinstance(results, list) or not results:
+        fail(errors, path, "metrics.results must be a non-empty list")
+        return None
+    return results
+
+
+def validate_rows(doc, results, path, errors):
+    required = ROW_FIELDS.get(doc["bench"])
+    if required is None:
+        # Unknown benches only need the envelope + results list of objects.
+        for i, row in enumerate(results):
+            if not isinstance(row, dict):
+                fail(errors, path, f"results[{i}] is not an object")
+        return
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            fail(errors, path, f"results[{i}] is not an object")
+            continue
+        for field in required:
+            if field not in row:
+                fail(errors, path, f"results[{i}] missing field '{field}'")
+            elif not isinstance(row[field], (int, float)):
+                fail(errors, path,
+                     f"results[{i}].{field} is not a number")
+
+
+def validate_sparse_semantics(results, path, errors):
+    needed = ("input_sparsity", "sparse_tps", "speedup")
+    rows = [r for r in results
+            if isinstance(r, dict) and all(k in r for k in needed)]
+    if len(rows) != len(results):
+        return  # field errors were already reported by validate_rows
+    rows = sorted(rows, key=lambda r: r["input_sparsity"])
+    best_so_far = 0.0
+    for row in rows:
+        if row["sparse_tps"] < JITTER_SLACK * best_so_far:
+            fail(errors, path,
+                 f"sparse_tps not monotone in input_sparsity: "
+                 f"{row['sparse_tps']} after {best_so_far} "
+                 f"(sparsity {row['input_sparsity']})")
+        best_so_far = max(best_so_far, row["sparse_tps"])
+    if not any(r["input_sparsity"] >= 0.9 and r["speedup"] >= 2.0
+               for r in rows):
+        fail(errors, path,
+             "no row with input_sparsity >= 0.9 reaches a 2x speedup")
+
+
+def validate_file(path, errors):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(errors, path, f"unreadable: {exc}")
+        return
+    if not isinstance(doc, dict):
+        fail(errors, path, "top level is not an object")
+        return
+    results = validate_envelope(doc, path, errors)
+    if results is None:
+        return
+    validate_rows(doc, results, path, errors)
+    if doc["bench"] == "bench_sparse_execution":
+        validate_sparse_semantics(results, path, errors)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        validate_file(path, errors)
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    if not errors:
+        print(f"ok: {len(argv) - 1} trajectory file(s) valid")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
