@@ -9,9 +9,11 @@
 // Environment knobs:
 //   RESPARC_BENCH_IMAGES    presentations per measurement (default 8)
 //   RESPARC_BENCH_TIMESTEPS presentation length           (default 16)
+//   RESPARC_BENCH_REPS      timing repetitions, min reported (default 5)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -31,6 +33,27 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+std::size_t bench_reps() {
+  if (const char* env = std::getenv("RESPARC_BENCH_REPS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 5;
+}
+
+/// Minimum wall time of fn() over `reps` runs — the stable statistic on
+/// a shared/noisy machine.
+template <typename Fn>
+double min_seconds(std::size_t reps, Fn&& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
 struct Row {
   std::size_t threads = 0;
   double simulate_tps = 0.0;          ///< presentations simulated per second
@@ -45,16 +68,17 @@ int main() {
       std::max<std::size_t>(bench::bench_images(), 8);
   const std::size_t timesteps =
       std::min<std::size_t>(bench::bench_timesteps(), 16);
+  const std::size_t reps = bench_reps();
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("== pipeline throughput vs thread count ==\n");
-  std::printf("(mnist-mlp, %zu presentations x %zu timesteps, %u hardware "
-              "threads)\n\n",
-              images, timesteps, hw == 0 ? 1 : hw);
+  std::printf("(mnist-mlp, %zu presentations x %zu timesteps, %zu reps, "
+              "%u hardware threads)\n\n",
+              images, timesteps, reps, hw == 0 ? 1 : hw);
 
   const snn::BenchmarkSpec spec = snn::mnist_mlp();
 
-  // One warm workload gives the executors their traces; per-thread-count
-  // runs rebuild it to time the simulation stage.
+  // One warm workload provides the calibrated network and the traces
+  // every row replays.
   api::PipelineOptions opt;
   opt.images = images;
   opt.timesteps = timesteps;
@@ -66,37 +90,43 @@ int main() {
   resparc->load(warm.topology());
   cmos->load(warm.topology());
 
-  // Serial pipeline overhead (dataset synthesis, network init, threshold
-  // calibration) is identical for every thread count; measure it once via
-  // a record_traces=false run and subtract, so simulate_tps tracks only
-  // the thread-pooled trace-simulation stage.
-  opt.record_traces = false;
-  auto overhead_start = Clock::now();
-  (void)api::Pipeline(opt).benchmark(spec).run();
-  const double overhead_s = seconds_since(overhead_start);
-  opt.record_traces = true;
+  // The simulate rows re-run the workflow with the ALREADY-CALIBRATED
+  // network (Pipeline::network), so the serial overhead left to subtract
+  // is just dataset synthesis + the network copy — small and stable —
+  // rather than threshold calibration, whose run-to-run noise used to
+  // swamp the simulate stage itself.  Both sides of the subtraction are
+  // best-of-reps minima.
+  api::Pipeline sim_pipeline(opt);
+  sim_pipeline.dataset(spec.dataset).network(warm.network);
+  auto timed_run = [&](std::size_t threads, bool record) {
+    sim_pipeline.mutable_options().threads = threads;
+    sim_pipeline.mutable_options().record_traces = record;
+    return min_seconds(reps, [&] { (void)sim_pipeline.run(); });
+  };
+  const double overhead_s = timed_run(1, false);
 
+  // Traces are thread-count invariant (test-enforced), so every row
+  // replays the one warm workload's traces — no per-row pipeline rebuild.
   std::vector<Row> rows;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     Row row;
     row.threads = threads;
 
-    opt.threads = threads;
-    auto start = Clock::now();
-    const api::Workload w = api::Pipeline(opt).benchmark(spec).run();
     const double simulate_s =
-        std::max(seconds_since(start) - overhead_s, 1e-9);
-    row.simulate_tps = static_cast<double>(w.traces.size()) / simulate_s;
+        std::max(timed_run(threads, true) - overhead_s, 1e-9);
+    row.simulate_tps = static_cast<double>(warm.traces.size()) / simulate_s;
 
-    start = Clock::now();
-    (void)api::Pipeline::execute(*resparc, w.traces, threads);
     row.execute_resparc_tps =
-        static_cast<double>(w.traces.size()) / seconds_since(start);
+        static_cast<double>(warm.traces.size()) /
+        min_seconds(reps, [&] {
+          (void)api::Pipeline::execute(*resparc, warm.traces, threads);
+        });
 
-    start = Clock::now();
-    (void)api::Pipeline::execute(*cmos, w.traces, threads);
     row.execute_cmos_tps =
-        static_cast<double>(w.traces.size()) / seconds_since(start);
+        static_cast<double>(warm.traces.size()) /
+        min_seconds(reps, [&] {
+          (void)api::Pipeline::execute(*cmos, warm.traces, threads);
+        });
 
     rows.push_back(row);
     std::printf("threads %2zu: simulate %8.2f pres/s | execute resparc "
@@ -107,8 +137,8 @@ int main() {
 
   std::ostringstream config;
   config << "{\"benchmark\": \"mnist-mlp\", \"presentations\": " << images
-         << ", \"timesteps\": " << timesteps << ", \"hardware_threads\": "
-         << (hw == 0 ? 1 : hw) << "}";
+         << ", \"timesteps\": " << timesteps << ", \"reps\": " << reps
+         << ", \"hardware_threads\": " << (hw == 0 ? 1 : hw) << "}";
   std::ostringstream metrics;
   metrics << "{\"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -1,6 +1,7 @@
 #include "api/pipeline.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <ostream>
 #include <utility>
 
@@ -169,13 +170,33 @@ Workload Pipeline::run() {
     traces.resize(n);
     predicted.resize(n);
     const snn::Network& net_ref = *net;
-    parallel_for(n, options_.threads, [&](std::size_t i) {
+
+    // Presentations fan out over the persistent pool with one REUSED
+    // simulator per worker (a reused simulator is bit-for-bit a fresh
+    // one, so results stay thread-count invariant).  When a single
+    // presentation dominates latency (n == 1, the paper-scale CNN case)
+    // the requested parallelism goes INSIDE the trace instead: the
+    // simulator partitions each big layer's scatter over the pool.
+    ThreadPool& pool = ThreadPool::global();
+    const std::size_t requested = resolve_threads(options_.threads, n);
+    std::vector<std::unique_ptr<snn::Simulator>> sims(pool.width());
+    const auto present = [&](std::size_t i, std::size_t worker) {
+      auto& sim = sims[worker];
+      if (!sim) {
+        sim = std::make_unique<snn::Simulator>(net_ref, cfg);
+        if (n == 1 && options_.threads != 1)
+          sim->set_pool(&pool, resolve_threads(options_.threads,
+                                               pool.width()));
+      }
       Rng rng(presentation_seed(options_.seed, i));
-      snn::Simulator sim(net_ref, cfg);
-      snn::SimResult r = sim.run(test.images[i], rng);
+      snn::SimResult r = sim->run(test.images[i], rng);
       traces[i] = std::move(r.trace);
       predicted[i] = r.predicted_class;
-    });
+    };
+    if (requested <= 1)
+      for (std::size_t i = 0; i < n; ++i) present(i, 0);
+    else
+      pool.run_indexed(n, requested, present);
   }
 
   // -- assemble -------------------------------------------------------------

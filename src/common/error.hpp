@@ -46,4 +46,13 @@ inline void require(bool cond, const std::string& what) {
   if (!cond) detail::throw_config(what);
 }
 
+/// Literal-message overload: defers the std::string construction to the
+/// failure path, so a require() on a hot loop's entry costs no heap
+/// allocation (the zero-allocation steady state depends on this —
+/// string literals longer than the SSO buffer would otherwise allocate
+/// on every successful check).
+inline void require(bool cond, const char* what) {
+  if (!cond) detail::throw_config(what);
+}
+
 }  // namespace resparc

@@ -1,0 +1,112 @@
+#include "common/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace resparc::kernels {
+
+void accumulate_rows(const float* w, std::size_t stride, std::size_t cols,
+                     std::span<const std::uint32_t> rows, float* acc) {
+  std::size_t i = 0;
+  // Fused groups of four: per output element the adds still happen in
+  // ascending row order (see row_add4), so any grouping is bit-for-bit
+  // identical to the plain per-row loop — the fusion is free to change
+  // with no numeric effect.
+  for (; i + 4 <= rows.size(); i += 4) {
+    row_add4(acc, w + static_cast<std::size_t>(rows[i]) * stride,
+             w + static_cast<std::size_t>(rows[i + 1]) * stride,
+             w + static_cast<std::size_t>(rows[i + 2]) * stride,
+             w + static_cast<std::size_t>(rows[i + 3]) * stride, cols);
+  }
+  for (; i < rows.size(); ++i)
+    row_add(acc, w + static_cast<std::size_t>(rows[i]) * stride, cols);
+}
+
+void matvec_in_major(const float* w, std::size_t rows, std::size_t cols,
+                     const float* x, float* out) {
+  std::fill(out, out + cols, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float xv = x[r];
+    if (xv == 0.0f) continue;  // event-driven: skip silent inputs
+    axpy(out, xv, w + r * cols, cols);
+  }
+}
+
+void matvec_out_major(const float* w, std::size_t rows, std::size_t cols,
+                      const float* x, float* out) {
+  for (std::size_t r = 0; r < rows; ++r) out[r] = dot(w + r * cols, x, cols);
+}
+
+void im2col(const float* in, std::size_t in_c, std::size_t in_h,
+            std::size_t in_w, std::size_t k, std::size_t pad,
+            std::size_t out_h, std::size_t out_w, float* col) {
+  // Patch-row-major: row j = (c, ky, kx) holds that tap's value for every
+  // output pixel, so each GEMM axpy streams one contiguous row.  For a
+  // fixed (c, ky) the input pixels form contiguous runs per output row;
+  // out-of-image taps are zero-filled.
+  const std::size_t npix = out_h * out_w;
+  std::size_t j = 0;
+  for (std::size_t c = 0; c < in_c; ++c) {
+    const float* plane = in + c * in_h * in_w;
+    for (std::size_t ky = 0; ky < k; ++ky) {
+      for (std::size_t kx = 0; kx < k; ++kx, ++j) {
+        float* row = col + j * npix;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          float* dst = row + oy * out_w;
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                    static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) {
+            std::fill(dst, dst + out_w, 0.0f);
+            continue;
+          }
+          // ix = ox + kx - pad must lie in [0, in_w): valid ox range is
+          // [x0, x1).
+          const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(kx) -
+                                       static_cast<std::ptrdiff_t>(pad);
+          const std::size_t x0 = static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, -shift));
+          const std::size_t x1 = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+              static_cast<std::ptrdiff_t>(in_w) - shift, 0,
+              static_cast<std::ptrdiff_t>(out_w)));
+          std::fill(dst, dst + x0, 0.0f);
+          if (x1 > x0) {
+            const float* src = plane + static_cast<std::size_t>(iy) * in_w;
+            std::memcpy(dst + x0, src + static_cast<std::size_t>(
+                                            static_cast<std::ptrdiff_t>(x0) + shift),
+                        (x1 - x0) * sizeof(float));
+          }
+          std::fill(dst + std::max(x0, x1), dst + out_w, 0.0f);
+        }
+      }
+    }
+  }
+}
+
+void conv2d_forward(const float* in, std::size_t in_c, std::size_t in_h,
+                    std::size_t in_w, const float* w, std::size_t out_c,
+                    std::size_t k, std::size_t pad, std::size_t out_h,
+                    std::size_t out_w, float* out, Scratch& scratch) {
+  const std::size_t npix = out_h * out_w;
+  const std::size_t patch = in_c * k * k;
+  scratch.ensure_col(patch * npix);
+  float* col = scratch.col.data();
+  im2col(in, in_c, in_h, in_w, k, pad, out_h, out_w, col);
+
+  std::fill(out, out + out_c * npix, 0.0f);
+  // Blocked GEMM: out (out_c x npix, CHW feature maps) += W^T * col.
+  // Patch rows are processed in ascending blocks and ascending order
+  // inside each block, so per output element the accumulation order is
+  // plain ascending (c, ky, kx) — the naive loop nest's order.  The
+  // block keeps ~jb rows of `col` hot in cache while every output
+  // channel consumes them.
+  constexpr std::size_t kPatchBlock = 48;
+  for (std::size_t j0 = 0; j0 < patch; j0 += kPatchBlock) {
+    const std::size_t j1 = std::min(patch, j0 + kPatchBlock);
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+      float* dst = out + oc * npix;
+      for (std::size_t j = j0; j < j1; ++j)
+        axpy(dst, w[j * out_c + oc], col + j * npix, npix);
+    }
+  }
+}
+
+}  // namespace resparc::kernels

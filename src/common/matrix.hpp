@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/kernels.hpp"
 
 namespace resparc {
 
@@ -93,13 +94,8 @@ inline void matvec_in_major(const Matrix& w, std::span<const float> x,
                             std::span<float> out) {
   if (x.size() != w.rows() || out.size() != w.cols())
     throw ShapeError("matvec_in_major: dimension mismatch");
-  for (auto& v : out) v = 0.0f;
-  for (std::size_t r = 0; r < w.rows(); ++r) {
-    const float xv = x[r];
-    if (xv == 0.0f) continue;  // event-driven: skip silent inputs
-    const auto wrow = w.row(r);
-    for (std::size_t c = 0; c < w.cols(); ++c) out[c] += xv * wrow[c];
-  }
+  kernels::matvec_in_major(w.flat().data(), w.rows(), w.cols(), x.data(),
+                           out.data());
 }
 
 }  // namespace resparc

@@ -1,0 +1,179 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+
+namespace resparc {
+
+namespace {
+// Set while a thread executes inside a pool job; a nested run_indexed
+// from such a thread runs inline instead of deadlocking on the job
+// mutex.
+thread_local bool t_inside_pool_job = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;                 ///< guards job publication + working
+  std::condition_variable cv_work;  ///< workers park here between jobs
+  std::condition_variable cv_done;  ///< caller waits for completion here
+  bool stop = false;                ///< set once, in the destructor
+
+  // --- the currently published job --------------------------------------
+  std::uint64_t generation = 0;     ///< bumped per job, under `mutex`
+  std::size_t count = 0;            ///< items in the job
+  std::size_t chunk = 1;            ///< indices claimed per grab
+  std::size_t worker_cap = 0;       ///< pool workers allowed to join
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};       ///< claim cursor
+  std::atomic<std::size_t> joined{0};     ///< pool workers that took a slot
+  std::atomic<bool> cancelled{false};     ///< first exception stops claims
+  std::size_t working = 0;                ///< workers inside the job (mutex)
+  std::exception_ptr error;               ///< first exception (under mutex)
+
+  /// Claims chunks and runs items until the job is drained or cancelled.
+  /// `fn` is dereferenced only after a successful claim, so a worker
+  /// arriving after teardown (the cursor is parked at `count`) never
+  /// touches a dead job.
+  void work(std::size_t worker_id) {
+    for (;;) {
+      if (cancelled.load(std::memory_order_relaxed)) return;
+      const std::size_t begin =
+          next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = std::min(count, begin + chunk);
+      const auto& call = *fn;
+      for (std::size_t i = begin; i < end; ++i) {
+        // Per-item check keeps cancellation prompt even inside a chunk.
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        try {
+          call(i, worker_id);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+          cancelled.store(true, std::memory_order_relaxed);
+          // Park the cursor so no further chunk can be claimed — after
+          // the caller observes working == 0 the job can be torn down
+          // with no worker able to reach `fn` again.
+          next.store(count, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  }
+
+  /// Body of one parked worker thread.  A worker only participates in a
+  /// job it observed `fn` for under the mutex, and announces itself in
+  /// `working` first, so the caller's completion wait covers it; workers
+  /// that never wake for a generation are simply not involved in it.
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv_work.wait(lock, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      if (fn == nullptr) continue;  // woke after the job already ended
+      ++working;
+      lock.unlock();
+
+      // Participation slots are first-come; workers beyond the cap (or a
+      // drained cursor) fall straight through.
+      const std::size_t slot = joined.fetch_add(1, std::memory_order_relaxed);
+      if (slot < worker_cap) {
+        t_inside_pool_job = true;
+        work(slot + 1);  // the caller is worker 0
+        t_inside_pool_job = false;
+      }
+
+      lock.lock();
+      if (--working == 0) cv_done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(threads > 0 ? threads - 1 : 0);
+  for (std::size_t t = 1; t < threads; ++t)
+    workers_.emplace_back([impl = impl_] { impl->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : workers_) w.join();
+  delete impl_;
+}
+
+void ThreadPool::run_indexed(
+    std::size_t count, std::size_t max_workers,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (max_workers == 0) max_workers = width();
+  // Nested call from inside a job, or nothing to fan out to: run inline.
+  if (t_inside_pool_job || workers_.empty() || max_workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+
+  Impl& im = *impl_;
+  std::unique_lock<std::mutex> lock(im.mutex);
+  // One job at a time: a later caller waits for the previous job's
+  // teardown (publication happens under the same mutex).
+  im.cv_done.wait(lock, [&] { return im.fn == nullptr; });
+
+  const std::size_t active = std::min(max_workers, width());
+  im.count = count;
+  // Chunked claiming: ~8 grabs per worker amortises the atomic without
+  // starving the tail; the per-item cancel check keeps chunks
+  // interruptible.
+  im.chunk = std::max<std::size_t>(1, count / (active * 8));
+  im.worker_cap = active - 1;  // caller occupies worker slot 0
+  im.fn = &fn;
+  im.next.store(0, std::memory_order_relaxed);
+  im.joined.store(0, std::memory_order_relaxed);
+  im.cancelled.store(false, std::memory_order_relaxed);
+  im.error = nullptr;
+  ++im.generation;
+  lock.unlock();
+  // Wake only as many workers as the job can use — a small capped job on
+  // a wide pool must not stampede every parked thread (the within-trace
+  // path publishes one job per layer per timestep).
+  for (std::size_t t = 0; t < im.worker_cap && t < workers_.size(); ++t)
+    im.cv_work.notify_one();
+
+  t_inside_pool_job = true;
+  im.work(0);
+  t_inside_pool_job = false;
+
+  lock.lock();
+  // Park the cursor (idempotent when the job drained normally) so any
+  // worker waking from here on claims nothing, then wait out the workers
+  // that did join.  Only they were ever counted — an idle pool thread
+  // that never woke for this generation owes nothing.
+  im.next.store(im.count, std::memory_order_relaxed);
+  im.cv_done.wait(lock, [&] { return im.working == 0; });
+  im.fn = nullptr;
+  std::exception_ptr error = im.error;
+  im.error = nullptr;
+  lock.unlock();
+  im.cv_done.notify_all();  // wake any caller queued on `fn == nullptr`
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace resparc

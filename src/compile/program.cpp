@@ -156,7 +156,13 @@ CompiledProgram CompiledProgram::load(std::istream& is,
 
   expect_token(is, kMagic);
   std::string version;
-  if (!(is >> version) || version != "v" + std::to_string(kVersion))
+  // Built as "v" + number in two appends: the one-expression
+  // `"v" + std::to_string(...)` makes GCC 12's -Wrestrict misfire under
+  // -march=native inlining (a libstdc++ operator+ false positive that
+  // would break the -Werror native-arch CI job).
+  std::string expected_version("v");
+  expected_version += std::to_string(kVersion);
+  if (!(is >> version) || version != expected_version)
     throw CompileError("unsupported program version \"" + version + "\"");
 
   expect_token(is, "strategy");

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/kernels.hpp"
 
 namespace resparc::core {
 
@@ -44,8 +45,7 @@ std::size_t Mca::accumulate(const snn::SpikeVector& layer_input,
     const std::size_t idx = input_offset_ + r;
     if (idx >= layer_input.size() || !layer_input.get(idx)) continue;
     ++active;
-    const auto row = weights_.row(r);
-    for (std::size_t c = 0; c < cols_used_; ++c) acc[c] += row[c];
+    kernels::row_add(acc.data(), weights_.row(r).data(), cols_used_);
     // Differential pair: both devices of the row conduct on a spike.
     energy += 2.0 * mean_cell * static_cast<double>(cols_used_);
   }

@@ -133,7 +133,12 @@ ActivityTrace ActivityTrace::load(std::istream& is) {
   ActivityTrace a;
   expect_token(is, kMagic);
   std::string version;
-  if (!(is >> version) || version != "v" + std::to_string(kVersion))
+  // Two appends instead of `"v" + std::to_string(...)`: the
+  // one-expression form trips GCC 12's -Wrestrict false positive under
+  // -march=native inlining (breaks the -Werror native-arch CI job).
+  std::string expected_version("v");
+  expected_version += std::to_string(kVersion);
+  if (!(is >> version) || version != expected_version)
     throw ActivityError("unsupported version \"" + version + "\"");
   expect_token(is, "presentations");
   a.presentations = read_value<std::size_t>(is, "presentations");

@@ -13,35 +13,50 @@ RateEncoder::RateEncoder(EncoderConfig config) : config_(config) {
 
 std::vector<SpikeVector> RateEncoder::encode(std::span<const float> image,
                                              std::size_t timesteps,
-                                             Rng& rng) const {
-  std::vector<SpikeVector> out(timesteps, SpikeVector(image.size()));
+                                             Rng& rng) {
+  std::vector<SpikeVector> out;
+  encode_into(image, timesteps, rng, out);
+  return out;
+}
+
+void RateEncoder::encode_into(std::span<const float> image,
+                              std::size_t timesteps, Rng& rng,
+                              std::vector<SpikeVector>& out) {
+  out.resize(timesteps);
+  for (auto& v : out) v.reset(image.size());
+
+  // Hoisted per-pixel rate: the clamp/multiply is loop-invariant across
+  // timesteps.  The RNG is still drawn exactly like the historical
+  // per-step loop (one draw per positive-rate pixel per step, in pixel
+  // order), so spike trains are bit-for-bit unchanged.
+  probability_.resize(image.size());
+  for (std::size_t i = 0; i < image.size(); ++i)
+    probability_[i] =
+        config_.max_rate * std::clamp(static_cast<double>(image[i]), 0.0, 1.0);
+
   if (config_.poisson) {
     for (std::size_t t = 0; t < timesteps; ++t) {
+      SpikeVector& step = out[t];
       for (std::size_t i = 0; i < image.size(); ++i) {
-        const double p =
-            config_.max_rate * std::clamp(static_cast<double>(image[i]), 0.0, 1.0);
-        if (p > 0.0 && rng.bernoulli(p)) out[t].set(i);
+        const double p = probability_[i];
+        if (p > 0.0 && rng.bernoulli(p)) step.set(i);
       }
     }
   } else {
     // Phase accumulation: pixel p spikes every 1/p steps on average with a
     // per-pixel phase offset so pixels do not all fire in step 0.
-    std::vector<double> phase(image.size());
-    for (std::size_t i = 0; i < image.size(); ++i)
-      phase[i] = 0.5;  // common phase: deterministic and test-friendly
+    phase_.assign(image.size(), 0.5);  // common phase: deterministic
     for (std::size_t t = 0; t < timesteps; ++t) {
+      SpikeVector& step = out[t];
       for (std::size_t i = 0; i < image.size(); ++i) {
-        const double p =
-            config_.max_rate * std::clamp(static_cast<double>(image[i]), 0.0, 1.0);
-        phase[i] += p;
-        if (phase[i] >= 1.0) {
-          phase[i] -= 1.0;
-          out[t].set(i);
+        phase_[i] += probability_[i];
+        if (phase_[i] >= 1.0) {
+          phase_[i] -= 1.0;
+          step.set(i);
         }
       }
     }
   }
-  return out;
 }
 
 }  // namespace resparc::snn

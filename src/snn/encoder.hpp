@@ -33,10 +33,21 @@ class RateEncoder {
   /// Encodes `image` (values clamped to [0,1]) into `timesteps` spike
   /// vectors.  The deterministic mode ignores `rng`.
   std::vector<SpikeVector> encode(std::span<const float> image,
-                                  std::size_t timesteps, Rng& rng) const;
+                                  std::size_t timesteps, Rng& rng);
+
+  /// Allocation-free steady-state form of encode(): refills `out`
+  /// (resized to `timesteps`), reusing its spike-vector storage and the
+  /// encoder's internal scratch.  Identical spike trains and identical
+  /// RNG consumption to encode() — the two are interchangeable
+  /// mid-stream.  Not const (and not thread-safe per instance) because
+  /// of the reused scratch; every simulator owns its own encoder.
+  void encode_into(std::span<const float> image, std::size_t timesteps,
+                   Rng& rng, std::vector<SpikeVector>& out);
 
  private:
   EncoderConfig config_;
+  std::vector<double> probability_;  ///< per-pixel clamped rate, reused
+  std::vector<double> phase_;        ///< deterministic-mode accumulator
 };
 
 }  // namespace resparc::snn

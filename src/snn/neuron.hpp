@@ -52,6 +52,12 @@ class IfPopulation {
   /// Resets all membranes to v_reset (between input presentations).
   void reset();
 
+  /// Zeroes all membranes — the state a freshly constructed population
+  /// starts from.  Reusing a population across presentations with
+  /// clear() is bit-for-bit identical to constructing a new one (the
+  /// allocation-free steady state relies on this).
+  void clear() { membrane_.assign(membrane_.size(), 0.0f); }
+
   /// Membrane potential of neuron `i` (for tests and the examples).
   float membrane(std::size_t i) const { return membrane_[i]; }
 

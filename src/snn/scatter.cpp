@@ -1,0 +1,95 @@
+#include "snn/scatter.hpp"
+
+#include <algorithm>
+
+#include "common/kernels.hpp"
+
+namespace resparc::snn {
+
+namespace {
+
+/// Even [begin, end) split of `n` elements for partition `part`/`parts`.
+struct Slice {
+  std::size_t begin;
+  std::size_t end;
+};
+
+Slice slice_of(std::size_t n, std::size_t part, std::size_t parts) {
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  const std::size_t begin = part * base + std::min(part, extra);
+  return {begin, begin + base + (part < extra ? 1 : 0)};
+}
+
+}  // namespace
+
+void scatter_accumulate(const LayerInfo& li, const Matrix& w,
+                        std::span<const std::uint32_t> in_active,
+                        std::span<float> current, std::size_t part,
+                        std::size_t parts) {
+  switch (li.spec.kind) {
+    case LayerKind::kDense: {
+      // Partition = column slice; every event drives every column, so the
+      // slice just narrows the accumulate width.
+      const auto [c0, c1] = slice_of(w.cols(), part, parts);
+      kernels::accumulate_rows(w.flat().data() + c0, w.cols(), c1 - c0,
+                               in_active, current.data() + c0);
+      break;
+    }
+    case LayerKind::kConv: {
+      // Scatter form of the convolution: input (c,y,x) feeds output
+      // (oc, y-ky+pad, x-kx+pad) with kernel weight row (c*k+ky)*k+kx —
+      // one weight per output channel, feature maps out.h*out.w apart.
+      // Partition = output-channel slice.
+      const Shape3 in_shape = li.in_shape;
+      const Shape3 out = li.out_shape;
+      const std::size_t k = li.spec.kernel;
+      const std::size_t pad = li.spec.same_padding ? k / 2 : 0;
+      const std::size_t plane = out.h * out.w;
+      const auto [oc0, oc1] = slice_of(out.c, part, parts);
+      if (oc1 == oc0) break;
+      for (const std::uint32_t idx : in_active) {
+        const std::size_t c = idx / (in_shape.h * in_shape.w);
+        const std::size_t rem = idx % (in_shape.h * in_shape.w);
+        const std::size_t y = rem / in_shape.w;
+        const std::size_t x = rem % in_shape.w;
+        for (std::size_t ky = 0; ky < k; ++ky) {
+          const std::ptrdiff_t oy =
+              static_cast<std::ptrdiff_t>(y + pad) - static_cast<std::ptrdiff_t>(ky);
+          if (oy < 0 || oy >= static_cast<std::ptrdiff_t>(out.h)) continue;
+          for (std::size_t kx = 0; kx < k; ++kx) {
+            const std::ptrdiff_t ox =
+                static_cast<std::ptrdiff_t>(x + pad) - static_cast<std::ptrdiff_t>(kx);
+            if (ox < 0 || ox >= static_cast<std::ptrdiff_t>(out.w)) continue;
+            const std::size_t wrow = (c * k + ky) * k + kx;
+            const std::size_t base =
+                static_cast<std::size_t>(oy) * out.w + static_cast<std::size_t>(ox);
+            kernels::row_add_strided(current.data() + oc0 * plane + base, plane,
+                                     w.row(wrow).data() + oc0, oc1 - oc0);
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kAvgPool: {
+      // Each event touches exactly one output; partition = output-index
+      // slice, membership-checked per event.
+      const Shape3 in_shape = li.in_shape;
+      const Shape3 out = li.out_shape;
+      const std::size_t p = li.spec.pool;
+      const float share = 1.0f / static_cast<float>(p * p);
+      const auto [b, e] = slice_of(out.size(), part, parts);
+      for (const std::uint32_t idx : in_active) {
+        const std::size_t c = idx / (in_shape.h * in_shape.w);
+        const std::size_t rem = idx % (in_shape.h * in_shape.w);
+        const std::size_t y = rem / in_shape.w;
+        const std::size_t x = rem % in_shape.w;
+        const std::size_t at = (c * out.h + y / p) * out.w + x / p;
+        if (at >= b && at < e) current[at] += share;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace resparc::snn

@@ -1,0 +1,37 @@
+// Shared spike-event scatter: ONE implementation of "add the fan-out of
+// these input events into the output current buffer" for every layer
+// kind, built on the kernels layer (common/kernels.hpp).
+//
+// Both execution engines call these functions — the dense simulator with
+// the active-bit list of the previous layer's SpikeVector, the sparse
+// engine with its AER event list — so their floating-point results are
+// bit-for-bit identical by construction, not by parallel maintenance of
+// two loop nests (docs/performance.md).
+//
+// The `part/parts` pair partitions the OUTPUT space (dense columns, conv
+// output channels, pool output indices) so the simulator can spread one
+// big layer across pool workers: each output element is written by
+// exactly one partition and sees its additions in the exact order the
+// unpartitioned call would use, so results are partition-count
+// invariant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/matrix.hpp"
+#include "snn/topology.hpp"
+
+namespace resparc::snn {
+
+/// Scatters the fan-out of `in_active` (ascending input indices) of a
+/// layer described by `li` with weight matrix `w` (empty for pool
+/// layers) into `current`, writing only the output slice owned by
+/// partition `part` of `parts`.  `current` is NOT zeroed — callers own
+/// the all-zero (or carry-over) invariant.
+void scatter_accumulate(const LayerInfo& li, const Matrix& w,
+                        std::span<const std::uint32_t> in_active,
+                        std::span<float> current, std::size_t part = 0,
+                        std::size_t parts = 1);
+
+}  // namespace resparc::snn

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "snn/scatter.hpp"
 #include "snn/sparse_engine.hpp"
 
 namespace resparc::snn {
@@ -27,178 +29,159 @@ bool parse_execution_mode(const std::string& text, ExecutionMode& out) {
 Simulator::Simulator(const Network& net, SimConfig config)
     : net_(net), config_(config), encoder_(config.encoder) {
   require(config_.timesteps > 0, "simulator needs timesteps > 0");
+  // One reusable pool job: run_indexed takes it by const reference, so
+  // the pooled steady state allocates nothing per call.
+  pool_fn_ = [this](std::size_t part, std::size_t /*worker*/) {
+    scatter_accumulate(net_.topology().layers()[pool_job_layer_],
+                       net_.layer(pool_job_layer_).weights, pool_job_active_,
+                       pool_job_current_, part, pool_parts_);
+  };
 }
 
-void Simulator::accumulate_current(std::size_t l, const SpikeVector& prev,
-                                   std::span<float> current) const {
-  const LayerInfo& li = net_.topology().layers()[l];
-  const LayerParams& lp = net_.layer(l);
-  std::fill(current.begin(), current.end(), 0.0f);
+Simulator::~Simulator() = default;
 
-  switch (li.spec.kind) {
-    case LayerKind::kDense: {
-      const Matrix& w = lp.weights;
-      for (std::size_t r = 0; r < prev.size(); ++r) {
-        if (!prev.get(r)) continue;
-        const auto row = w.row(r);
-        for (std::size_t c = 0; c < row.size(); ++c) current[c] += row[c];
-      }
-      break;
+void Simulator::set_pool(ThreadPool* pool, std::size_t parts,
+                         std::size_t min_outputs) {
+  pool_ = pool;
+  pool_parts_ = pool == nullptr ? 1
+               : parts == 0    ? pool->width()
+                               : std::min(parts, pool->width());
+  pool_min_outputs_ = min_outputs;
+}
+
+void Simulator::accumulate_active(std::size_t l,
+                                  std::span<const std::uint32_t> active,
+                                  std::span<float> current) {
+  const LayerInfo& li = net_.topology().layers()[l];
+  if (pool_ != nullptr && pool_parts_ > 1 && li.neurons >= pool_min_outputs_ &&
+      !active.empty()) {
+    pool_job_layer_ = l;
+    pool_job_active_ = active;
+    pool_job_current_ = current;
+    pool_->run_indexed(pool_parts_, pool_parts_, pool_fn_);
+    return;
+  }
+  scatter_accumulate(li, net_.layer(l).weights, active, current);
+}
+
+void Simulator::ensure_dense_state() {
+  const Topology& topo = net_.topology();
+  if (pops_.empty()) {
+    pops_.reserve(topo.layer_count());
+    currents_.resize(topo.layer_count());
+    spike_bytes_.resize(topo.layer_count());
+    prev_holder_.resize(topo.layer_count());
+    for (std::size_t l = 0; l < topo.layer_count(); ++l) {
+      const std::size_t n = topo.layers()[l].neurons;
+      pops_.emplace_back(n, net_.layer(l).neuron);
+      currents_[l].assign(n, 0.0f);
+      spike_bytes_[l].assign(n, 0);
     }
-    case LayerKind::kConv: {
-      const Matrix& w = lp.weights;  // (inC*k*k) x outC
-      const Shape3 in = li.in_shape;
-      const Shape3 out = li.out_shape;
-      const std::size_t k = li.spec.kernel;
-      const std::size_t pad = li.spec.same_padding ? k / 2 : 0;
-      for (std::size_t idx = 0; idx < prev.size(); ++idx) {
-        if (!prev.get(idx)) continue;
-        const std::size_t c = idx / (in.h * in.w);
-        const std::size_t rem = idx % (in.h * in.w);
-        const std::size_t y = rem / in.w;
-        const std::size_t x = rem % in.w;
-        // Input (c,y,x) feeds output (oc, y-ky+pad, x-kx+pad) with kernel
-        // weight K[oc][c][ky][kx] (the scatter form of the convolution).
-        for (std::size_t ky = 0; ky < k; ++ky) {
-          const std::ptrdiff_t oy =
-              static_cast<std::ptrdiff_t>(y + pad) - static_cast<std::ptrdiff_t>(ky);
-          if (oy < 0 || oy >= static_cast<std::ptrdiff_t>(out.h)) continue;
-          for (std::size_t kx = 0; kx < k; ++kx) {
-            const std::ptrdiff_t ox =
-                static_cast<std::ptrdiff_t>(x + pad) - static_cast<std::ptrdiff_t>(kx);
-            if (ox < 0 || ox >= static_cast<std::ptrdiff_t>(out.w)) continue;
-            const std::size_t wrow = (c * k + ky) * k + kx;
-            const auto kernels = w.row(wrow);  // one weight per out channel
-            const std::size_t base =
-                static_cast<std::size_t>(oy) * out.w + static_cast<std::size_t>(ox);
-            for (std::size_t oc = 0; oc < out.c; ++oc)
-              current[oc * out.h * out.w + base] += kernels[oc];
-          }
-        }
-      }
-      break;
-    }
-    case LayerKind::kAvgPool: {
-      const Shape3 in = li.in_shape;
-      const Shape3 out = li.out_shape;
-      const std::size_t p = li.spec.pool;
-      const float share = 1.0f / static_cast<float>(p * p);
-      for (std::size_t idx = 0; idx < prev.size(); ++idx) {
-        if (!prev.get(idx)) continue;
-        const std::size_t c = idx / (in.h * in.w);
-        const std::size_t rem = idx % (in.h * in.w);
-        const std::size_t y = rem / in.w;
-        const std::size_t x = rem % in.w;
-        current[(c * out.h + y / p) * out.w + x / p] += share;
-      }
-      break;
-    }
+  } else {
+    // Reuse: identical to reconstruction (IfPopulation::clear zeroes the
+    // membranes exactly like the constructor; currents/spike bytes are
+    // overwritten every step before being read).
+    for (auto& pop : pops_) pop.clear();
   }
 }
 
 SimResult Simulator::run(std::span<const float> image, Rng& rng) {
+  SimResult result;
+  run(image, rng, result);
+  return result;
+}
+
+void Simulator::run(std::span<const float> image, Rng& rng, SimResult& out) {
   const Topology& topo = net_.topology();
   require(image.size() == topo.input_shape().size(),
           "simulator: image size does not match topology input");
-  return config_.mode == ExecutionMode::kSparse ? run_sparse(image, rng)
-                                                : run_dense(image, rng);
+  out.trace.layers.clear();
+  out.output_spike_counts.assign(topo.output_count(), 0);
+  out.predicted_class = 0;
+  out.total_spikes = 0;
+  if (config_.mode == ExecutionMode::kSparse)
+    run_sparse(image, rng, out);
+  else
+    run_dense(image, rng, out);
+  out.predicted_class = static_cast<std::size_t>(std::distance(
+      out.output_spike_counts.begin(),
+      std::max_element(out.output_spike_counts.begin(),
+                       out.output_spike_counts.end())));
 }
 
-SimResult Simulator::run_dense(std::span<const float> image, Rng& rng) {
+void Simulator::run_dense(std::span<const float> image, Rng& rng,
+                          SimResult& result) {
   const Topology& topo = net_.topology();
+  ensure_dense_state();
 
-  // Per-layer populations and scratch buffers live for one presentation.
-  std::vector<IfPopulation> pops;
-  std::vector<std::vector<float>> currents;
-  std::vector<std::vector<std::uint8_t>> spike_bytes;
-  pops.reserve(topo.layer_count());
-  for (std::size_t l = 0; l < topo.layer_count(); ++l) {
-    const std::size_t n = topo.layers()[l].neurons;
-    pops.emplace_back(n, net_.layer(l).neuron);
-    currents.emplace_back(n, 0.0f);
-    spike_bytes.emplace_back(n, std::uint8_t{0});
-  }
-
-  SimResult result;
-  result.output_spike_counts.assign(topo.output_count(), 0);
   const std::size_t T = config_.timesteps;
   if (config_.record_trace) {
     result.trace.layers.resize(topo.layer_count() + 1);
     for (auto& lt : result.trace.layers) lt.reserve(T);
   }
 
-  const auto input_spikes = encoder_.encode(image, T, rng);
-
-  std::vector<SpikeVector> prev_holder;  // current spikes per layer, this step
-  prev_holder.resize(topo.layer_count());
+  encoder_.encode_into(image, T, rng, input_spikes_);
 
   for (std::size_t t = 0; t < T; ++t) {
-    const SpikeVector* prev = &input_spikes[t];
+    const SpikeVector* prev = &input_spikes_[t];
     result.total_spikes += prev->count();
     if (config_.record_trace) result.trace.layers[0].push_back(*prev);
 
     for (std::size_t l = 0; l < topo.layer_count(); ++l) {
-      accumulate_current(l, *prev, currents[l]);
-      pops[l].step(currents[l], spike_bytes[l]);
-      prev_holder[l] = SpikeVector::from_bytes(spike_bytes[l]);
-      prev = &prev_holder[l];
+      active_scratch_.clear();
+      prev->append_active(active_scratch_);
+      std::fill(currents_[l].begin(), currents_[l].end(), 0.0f);
+      accumulate_active(l, active_scratch_, currents_[l]);
+      pops_[l].step(currents_[l], spike_bytes_[l]);
+      prev_holder_[l].assign_bytes(spike_bytes_[l]);
+      prev = &prev_holder_[l];
       result.total_spikes += prev->count();
       if (config_.record_trace) result.trace.layers[l + 1].push_back(*prev);
     }
 
-    const SpikeVector& out = prev_holder.back();
+    const SpikeVector& out = prev_holder_.back();
     for (std::size_t i = 0; i < out.size(); ++i)
       if (out.get(i)) ++result.output_spike_counts[i];
   }
-
-  result.predicted_class = static_cast<std::size_t>(std::distance(
-      result.output_spike_counts.begin(),
-      std::max_element(result.output_spike_counts.begin(),
-                       result.output_spike_counts.end())));
-  return result;
 }
 
-SimResult Simulator::run_sparse(std::span<const float> image, Rng& rng) {
+void Simulator::run_sparse(std::span<const float> image, Rng& rng,
+                           SimResult& result) {
   const Topology& topo = net_.topology();
 
-  SimResult result;
-  result.output_spike_counts.assign(topo.output_count(), 0);
   const std::size_t T = config_.timesteps;
   if (config_.record_trace) {
     result.trace.layers.resize(topo.layer_count() + 1);
     for (auto& lt : result.trace.layers) lt.reserve(T);
   }
 
-  const auto input_spikes = encoder_.encode(image, T, rng);
+  encoder_.encode_into(image, T, rng, input_spikes_);
 
-  SparseEngine engine(net_);
+  if (!sparse_)
+    sparse_ = std::make_unique<SparseEngine>(net_);
+  else
+    sparse_->reset();
+  SparseEngine& engine = *sparse_;
+
   // Double-buffered AER lists: the input side of one layer is the output
   // side of the previous one.
-  std::vector<std::uint32_t> active_in;
-  std::vector<std::uint32_t> active_out;
-
   for (std::size_t t = 0; t < T; ++t) {
-    active_in.clear();
-    input_spikes[t].append_active(active_in);
-    result.total_spikes += active_in.size();
-    if (config_.record_trace) result.trace.layers[0].push_back(input_spikes[t]);
+    active_in_.clear();
+    input_spikes_[t].append_active(active_in_);
+    result.total_spikes += active_in_.size();
+    if (config_.record_trace)
+      result.trace.layers[0].push_back(input_spikes_[t]);
 
     for (std::size_t l = 0; l < topo.layer_count(); ++l) {
-      const SpikeVector& out = engine.step_layer(l, active_in, active_out);
-      active_in.swap(active_out);
-      result.total_spikes += active_in.size();
+      const SpikeVector& out = engine.step_layer(l, active_in_, active_out_);
+      active_in_.swap(active_out_);
+      result.total_spikes += active_in_.size();
       if (config_.record_trace) result.trace.layers[l + 1].push_back(out);
     }
 
-    // active_in now holds the output layer's spikes for this step.
-    for (const std::uint32_t i : active_in) ++result.output_spike_counts[i];
+    // active_in_ now holds the output layer's spikes for this step.
+    for (const std::uint32_t i : active_in_) ++result.output_spike_counts[i];
   }
-
-  result.predicted_class = static_cast<std::size_t>(std::distance(
-      result.output_spike_counts.begin(),
-      std::max_element(result.output_spike_counts.begin(),
-                       result.output_spike_counts.end())));
-  return result;
 }
 
 void Simulator::observe_currents(std::span<const float> image, Rng& rng,
@@ -219,11 +202,16 @@ void Simulator::observe_currents(std::span<const float> image, Rng& rng,
 
   const auto input_spikes = encoder_.encode(image, config_.timesteps, rng);
   std::vector<SpikeVector> prev_holder(layer + 1);
+  std::vector<std::uint32_t> active;
 
   for (std::size_t t = 0; t < config_.timesteps; ++t) {
     const SpikeVector* prev = &input_spikes[t];
     for (std::size_t l = 0; l <= layer; ++l) {
-      accumulate_current(l, *prev, currents[l]);
+      active.clear();
+      prev->append_active(active);
+      std::fill(currents[l].begin(), currents[l].end(), 0.0f);
+      scatter_accumulate(topo.layers()[l], net_.layer(l).weights, active,
+                         currents[l]);
       if (l == layer) {
         samples_out.insert(samples_out.end(), currents[l].begin(),
                            currents[l].end());
@@ -291,9 +279,10 @@ double evaluate_accuracy(const Network& net, const SimConfig& config,
   SimConfig cfg = config;
   cfg.record_trace = false;
   Simulator sim(net, cfg);
+  SimResult r;
   std::size_t correct = 0;
   for (std::size_t i = 0; i < images.size(); ++i) {
-    const SimResult r = sim.run(images[i], rng);
+    sim.run(images[i], rng, r);
     if (static_cast<int>(r.predicted_class) == labels[i]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(images.size());

@@ -12,6 +12,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -22,7 +25,13 @@
 #include "snn/network.hpp"
 #include "snn/trace.hpp"
 
+namespace resparc {
+class ThreadPool;
+}
+
 namespace resparc::snn {
+
+class SparseEngine;
 
 /// Simulation configuration.
 struct SimConfig {
@@ -47,11 +56,32 @@ class Simulator {
  public:
   /// The network must outlive the simulator.
   Simulator(const Network& net, SimConfig config);
+  ~Simulator();
 
   const SimConfig& config() const { return config_; }
 
   /// Presents one image (flat CHW intensities in [0,1]) and returns spikes.
   SimResult run(std::span<const float> image, Rng& rng);
+
+  /// Allocation-free steady-state form of run(): refills `out`, reusing
+  /// its buffers.  A Simulator reused across presentations (with either
+  /// overload) produces bit-for-bit the trace a freshly constructed one
+  /// would; after a warm-up presentation, a record_trace=false run
+  /// performs zero heap allocations (tests/test_allocation.cpp).
+  void run(std::span<const float> image, Rng& rng, SimResult& out);
+
+  /// Enables within-trace parallelism: layers with at least
+  /// `min_outputs` neurons spread their event scatter over `parts`
+  /// output partitions on `pool` (0 = pool width).  Results are
+  /// bit-for-bit identical with any pool/parts value — each output
+  /// element is written by exactly one partition in the serial order
+  /// (docs/performance.md).  Pass nullptr to disable (the default).
+  void set_pool(ThreadPool* pool, std::size_t parts = 0,
+                std::size_t min_outputs = kMinPooledOutputs);
+
+  /// Default set_pool() layer-size gate: paper-scale CNN feature maps
+  /// qualify, MLP layers (where one presentation is already cheap) don't.
+  static constexpr std::size_t kMinPooledOutputs = 8192;
 
   /// Collects per-neuron per-step input currents arriving at `layer` over
   /// one presentation (used by threshold calibration).  Layers after
@@ -60,18 +90,45 @@ class Simulator {
                         std::size_t layer, std::vector<float>& samples_out);
 
  private:
-  /// Computes input current into layer l from the previous layer's spikes.
-  void accumulate_current(std::size_t l, const SpikeVector& prev_spikes,
-                          std::span<float> current_out) const;
+  /// Scatters the active list of layer l's input into `current` —
+  /// partitioned over the pool when enabled, serial otherwise.
+  void accumulate_active(std::size_t l, std::span<const std::uint32_t> active,
+                         std::span<float> current);
+
+  /// Builds (first run) or clears (reuse) the dense per-layer state.
+  void ensure_dense_state();
 
   /// run() body for ExecutionMode::kDense (the historical path).
-  SimResult run_dense(std::span<const float> image, Rng& rng);
+  void run_dense(std::span<const float> image, Rng& rng, SimResult& out);
   /// run() body for ExecutionMode::kSparse (snn/sparse_engine.hpp).
-  SimResult run_sparse(std::span<const float> image, Rng& rng);
+  void run_sparse(std::span<const float> image, Rng& rng, SimResult& out);
 
   const Network& net_;
   SimConfig config_;
   RateEncoder encoder_;
+
+  // Within-trace parallelism (set_pool).
+  ThreadPool* pool_ = nullptr;
+  std::size_t pool_parts_ = 1;
+  std::size_t pool_min_outputs_ = kMinPooledOutputs;
+  /// Pre-built pool job reading pool_job_*; reusing one std::function
+  /// keeps the pooled steady state allocation-free.
+  std::function<void(std::size_t, std::size_t)> pool_fn_;
+  std::size_t pool_job_layer_ = 0;                 ///< layer being scattered
+  std::span<const std::uint32_t> pool_job_active_; ///< its input events
+  std::span<float> pool_job_current_;              ///< its output buffer
+
+  // Per-presentation scratch, hoisted so the steady state is
+  // allocation-free (buffers only ever grow).
+  std::vector<IfPopulation> pops_;                  ///< dense-path membranes
+  std::vector<std::vector<float>> currents_;        ///< per-layer drive
+  std::vector<std::vector<std::uint8_t>> spike_bytes_;  ///< dense step out
+  std::vector<SpikeVector> prev_holder_;            ///< packed spikes
+  std::vector<SpikeVector> input_spikes_;           ///< encoded input
+  std::vector<std::uint32_t> active_scratch_;       ///< event list per layer
+  std::unique_ptr<SparseEngine> sparse_;            ///< sparse-mode engine
+  std::vector<std::uint32_t> active_in_;            ///< sparse AER buffers
+  std::vector<std::uint32_t> active_out_;
 };
 
 /// Sets each layer's threshold to the (1 - target_activity) quantile of its

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "snn/scatter.hpp"
 
 namespace resparc::snn {
 
@@ -46,25 +47,30 @@ void SparseEngine::accumulate(std::size_t l,
                               LayerState& st) {
   const LayerInfo& li = net_.topology().layers()[l];
   const LayerParams& lp = net_.layer(l);
+
+  // The stamp-free (full-drive) form IS the dense engine's scatter: both
+  // run the shared kernels in snn/scatter.cpp, so dense/sparse parity is
+  // structural rather than maintained across two loop nests.
+  if constexpr (!Stamp) {
+    scatter_accumulate(li, lp.weights, in_active, st.current);
+    return;
+  }
+
   std::vector<float>& current = st.current;
   const std::uint32_t epoch = st.epoch;
 
-  // Stamps `c` as touched.  The Stamp=false instantiation erases this at
-  // compile time, leaving the unencumbered dense scatter loop.
+  // Stamps `c` as touched.
   const auto touch = [&](std::size_t c) {
-    if constexpr (Stamp) {
-      if (st.stamp[c] != epoch) {
-        st.stamp[c] = epoch;
-        st.touched.push_back(static_cast<std::uint32_t>(c));
-      }
-    } else {
-      (void)c;
+    if (st.stamp[c] != epoch) {
+      st.stamp[c] = epoch;
+      st.touched.push_back(static_cast<std::uint32_t>(c));
     }
   };
 
-  // The loop bodies below mirror Simulator::accumulate_current exactly —
-  // same event order, same addition order — so the floating-point result
-  // is bit-for-bit identical to the dense path.
+  // The loop bodies below mirror snn/scatter.cpp exactly — same event
+  // order, same addition order — so the floating-point result is
+  // bit-for-bit identical to the stamp-free path (each output element
+  // sees one plain add per touching event either way).
   switch (li.spec.kind) {
     case LayerKind::kDense: {
       const Matrix& w = lp.weights;
@@ -123,6 +129,22 @@ void SparseEngine::accumulate(std::size_t l,
       }
       break;
     }
+  }
+}
+
+void SparseEngine::reset() {
+  for (LayerState& st : state_) {
+    st.pop.clear();
+    // Only the bits named in `fired` can be set in `out` (step_layer
+    // retires the previous step through the same list), so clearing via
+    // the list restores the all-zero invariant without an O(words) wipe.
+    for (const std::uint32_t i : st.fired) st.out.clear(i);
+    st.fired.clear();
+    st.hot.clear();
+    st.touched.clear();
+    // The all-zero `current` invariant already holds between steps, and
+    // `stamp`/`epoch` are self-correcting (epoch strictly increases), so
+    // nothing else needs touching.
   }
 }
 

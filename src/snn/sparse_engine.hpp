@@ -46,6 +46,12 @@ class SparseEngine {
   /// Snapshots `net`'s neuron parameters and sizes the scratch state.
   explicit SparseEngine(const Network& net);
 
+  /// Returns the engine to its just-constructed state (zero membranes,
+  /// no pending spikes) without releasing any scratch storage — the
+  /// allocation-free way to reuse one engine across presentations.
+  /// Bit-for-bit equivalent to constructing a fresh engine.
+  void reset();
+
   /// Runs one timestep of layer `l`.  `in_active` is the previous
   /// layer's ascending active-index list (its spikes in AER form); the
   /// returned vector (this layer's spikes) stays valid until the next

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/kernels.hpp"
 
 namespace resparc::tech {
 
@@ -58,8 +59,8 @@ void CrossbarModel::read_currents(std::span<const std::uint8_t> spikes,
   const double v = device_.params().read_voltage_v;
   for (std::size_t r = 0; r < rows_; ++r) {
     if (!spikes[r]) continue;
-    const double* row = g_.data() + r * cols_;
-    for (std::size_t c = 0; c < cols_; ++c) currents_out[c] += v * row[c];
+    kernels::scaled_row_add(currents_out.data(), v, g_.data() + r * cols_,
+                            cols_);
   }
   const double atten = worst_case_ir_attenuation();
   if (atten < 1.0)

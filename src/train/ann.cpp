@@ -42,29 +42,8 @@ void Ann::layer_forward(std::size_t l, std::span<const float> in,
       const Shape3 os = li.out_shape;
       const std::size_t k = li.spec.kernel;
       const std::size_t pad = li.spec.same_padding ? k / 2 : 0;
-      for (std::size_t oc = 0; oc < os.c; ++oc) {
-        for (std::size_t oy = 0; oy < os.h; ++oy) {
-          for (std::size_t ox = 0; ox < os.w; ++ox) {
-            float acc = 0.0f;
-            for (std::size_t c = 0; c < is.c; ++c) {
-              for (std::size_t ky = 0; ky < k; ++ky) {
-                const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
-                                          static_cast<std::ptrdiff_t>(pad);
-                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(is.h)) continue;
-                for (std::size_t kx = 0; kx < k; ++kx) {
-                  const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox + kx) -
-                                            static_cast<std::ptrdiff_t>(pad);
-                  if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(is.w)) continue;
-                  acc += in[(c * is.h + static_cast<std::size_t>(iy)) * is.w +
-                            static_cast<std::size_t>(ix)] *
-                         w((c * k + ky) * k + kx, oc);
-                }
-              }
-            }
-            out[(oc * os.h + oy) * os.w + ox] = acc;
-          }
-        }
-      }
+      kernels::conv2d_forward(in.data(), is.c, is.h, is.w, w.flat().data(),
+                              os.c, k, pad, os.h, os.w, out.data(), scratch_);
       break;
     }
     case LayerKind::kAvgPool: {
@@ -119,17 +98,14 @@ void Ann::layer_backward(std::size_t l, std::span<const float> in,
   std::fill(din.begin(), din.end(), 0.0f);
   switch (li.spec.kind) {
     case LayerKind::kDense: {
-      for (std::size_t r = 0; r < w.rows(); ++r) {
-        const float xv = in[r];
-        const auto wrow = w.row(r);
-        auto grow = dw.row(r);
-        float acc = 0.0f;
-        for (std::size_t c = 0; c < w.cols(); ++c) {
-          grow[c] += xv * dout[c];
-          acc += wrow[c] * dout[c];
-        }
-        din[r] = acc;
-      }
+      // Split of the historical fused loop: per element the arithmetic
+      // and its order are unchanged (axpy accumulates grow in ascending
+      // c; din is the out-major matvec W * dout, each row reduced in
+      // ascending c), but each pass is unit-stride and vectorizable.
+      for (std::size_t r = 0; r < w.rows(); ++r)
+        kernels::axpy(dw.row(r).data(), in[r], dout.data(), w.cols());
+      kernels::matvec_out_major(w.flat().data(), w.rows(), w.cols(),
+                                dout.data(), din.data());
       break;
     }
     case LayerKind::kConv: {

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "common/kernels.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "snn/topology.hpp"
@@ -72,6 +73,10 @@ class Ann {
 
   snn::Topology topology_;
   std::vector<Matrix> weights_;
+  /// im2col workspace for the conv forward kernel; reused across calls,
+  /// so concurrent forward() calls on ONE Ann are not supported (each
+  /// trainer/evaluation thread owns its own Ann).
+  mutable kernels::Scratch scratch_;
 };
 
 }  // namespace resparc::train

@@ -1,0 +1,138 @@
+// Allocation-regression guard: steady-state simulate/execute must
+// perform ZERO heap allocations per presentation (docs/performance.md).
+//
+// The whole test binary's global operator new/delete are replaced with
+// counting forwarders to malloc/free; counting is enabled only around
+// the measured region.  The protocol per engine: run one paper-scale
+// CNN presentation to warm the simulator's scratch arenas, then run a
+// second identical presentation and require that it allocated nothing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/mapper.hpp"
+#include "snn/benchmarks.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
+
+namespace {
+
+std::atomic<bool> g_track{false};
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  if (g_track.load(std::memory_order_relaxed))
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size == 0 ? 1 : size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size) {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace resparc {
+namespace {
+
+/// Allocations performed by fn().
+template <typename Fn>
+std::size_t count_allocations(Fn&& fn) {
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_track.store(true, std::memory_order_relaxed);
+  fn();
+  g_track.store(false, std::memory_order_relaxed);
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+class AllocationSteadyState : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto spec = snn::mnist_cnn();  // paper-scale CNN
+    net_ = std::make_unique<snn::Network>(spec.topology);
+    Rng rng(41);
+    net_->init_random(rng, 1.0f);
+    net_->set_uniform_threshold(1.5);
+    image_.resize(spec.topology.input_shape().size());
+    for (auto& p : image_) p = static_cast<float>(rng.uniform(0.0, 0.5));
+  }
+
+  /// Warm presentation, then a bit-identical second one with counting on.
+  std::size_t second_presentation_allocations(snn::ExecutionMode mode) {
+    snn::SimConfig cfg;
+    cfg.timesteps = 4;
+    cfg.record_trace = false;  // traces are a deliverable, not steady state
+    cfg.mode = mode;
+    snn::Simulator sim(*net_, cfg);
+    snn::SimResult result;
+    Rng warm_rng(42);
+    sim.run(image_, warm_rng, result);
+    Rng rng(42);  // same stream: the steady state replays identical work
+    return count_allocations([&] { sim.run(image_, rng, result); });
+  }
+
+  std::unique_ptr<snn::Network> net_;
+  std::vector<float> image_;
+};
+
+TEST_F(AllocationSteadyState, DenseSimulateSecondPresentationAllocatesNothing) {
+  EXPECT_EQ(second_presentation_allocations(snn::ExecutionMode::kDense), 0u);
+}
+
+TEST_F(AllocationSteadyState, SparseSimulateSecondPresentationAllocatesNothing) {
+  EXPECT_EQ(second_presentation_allocations(snn::ExecutionMode::kSparse), 0u);
+}
+
+TEST_F(AllocationSteadyState, ExecutorReplaySecondRunAllocatesNothing) {
+  // The trace-driven executor's steady state: replaying a presentation
+  // against a fixed mapping is counter arithmetic only.
+  snn::SimConfig cfg;
+  cfg.timesteps = 4;
+  cfg.mode = snn::ExecutionMode::kDense;
+  snn::Simulator sim(*net_, cfg);
+  Rng rng(43);
+  const snn::SpikeTrace trace = sim.run(image_, rng).trace;
+
+  const core::Mapping mapping =
+      core::map_network(net_->topology(), core::default_config());
+  const core::Executor executor(net_->topology(), mapping);
+  (void)executor.run(trace);  // warm (nothing to warm, but symmetric)
+  core::RunReport report;
+  const std::size_t allocations =
+      count_allocations([&] { report = executor.run(trace); });
+  EXPECT_GT(report.events.neuron_integrations, 0u);
+  EXPECT_EQ(allocations, 0u);
+}
+
+}  // namespace
+}  // namespace resparc

@@ -41,7 +41,7 @@ Topology mlp_topo() {
                   {LayerSpec::dense(256), LayerSpec::dense(10)});
 }
 
-Topology cnn_topo() {
+[[maybe_unused]] Topology cnn_topo() {
   return Topology("c", Shape3{1, 12, 12},
                   {LayerSpec::conv(8, 3), LayerSpec::avg_pool(2),
                    LayerSpec::dense(10)});

@@ -1,0 +1,289 @@
+// Property tests for the shared kernel layer (common/kernels.hpp): every
+// blocked/vectorizable kernel is compared against a naive scalar
+// reference loop, bit-for-bit, across odd shapes — non-multiple-of-block
+// sizes, k=1/3/5 convolutions, padded and unpadded.  Bit-for-bit is the
+// right bar (not EXPECT_NEAR): the kernels' contract is a FIXED
+// accumulation order, which is what keeps the dense and sparse execution
+// engines identical and runs thread-count invariant.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/kernels.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "snn/benchmarks.hpp"
+#include "snn/network.hpp"
+#include "snn/scatter.hpp"
+#include "snn/simulator.hpp"
+#include "snn/topology.hpp"
+
+namespace resparc {
+namespace {
+
+using snn::LayerSpec;
+using snn::Topology;
+
+std::vector<float> random_vec(std::size_t n, Rng& rng, double lo = -1.0,
+                              double hi = 1.0) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(lo, hi));
+  return v;
+}
+
+TEST(Kernels, RowAdd4MatchesSequentialRowAddsBitForBit) {
+  Rng rng(1);
+  for (const std::size_t n : {1u, 3u, 4u, 7u, 16u, 63u, 100u}) {
+    const auto r0 = random_vec(n, rng), r1 = random_vec(n, rng),
+               r2 = random_vec(n, rng), r3 = random_vec(n, rng);
+    auto a = random_vec(n, rng);
+    auto b = a;
+    kernels::row_add(a.data(), r0.data(), n);
+    kernels::row_add(a.data(), r1.data(), n);
+    kernels::row_add(a.data(), r2.data(), n);
+    kernels::row_add(a.data(), r3.data(), n);
+    kernels::row_add4(b.data(), r0.data(), r1.data(), r2.data(), r3.data(), n);
+    EXPECT_EQ(a, b) << "n=" << n;
+  }
+}
+
+TEST(Kernels, AccumulateRowsMatchesPerRowLoopBitForBit) {
+  Rng rng(2);
+  for (const std::size_t cols : {1u, 5u, 64u, 97u}) {
+    for (const std::size_t count : {0u, 1u, 3u, 4u, 5u, 8u, 9u, 17u}) {
+      Matrix w(32, cols);
+      for (float& v : w.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+      std::vector<std::uint32_t> rows;
+      for (std::size_t i = 0; i < count; ++i)
+        rows.push_back(static_cast<std::uint32_t>(rng.below(32)));
+
+      std::vector<float> naive(cols, 0.0f);
+      for (const std::uint32_t r : rows) {
+        const auto row = w.row(r);
+        for (std::size_t c = 0; c < cols; ++c) naive[c] += row[c];
+      }
+      std::vector<float> fast(cols, 0.0f);
+      kernels::accumulate_rows(w.flat().data(), cols, cols, rows, fast.data());
+      EXPECT_EQ(naive, fast) << "cols=" << cols << " count=" << count;
+    }
+  }
+}
+
+TEST(Kernels, AccumulateRowsColumnSliceMatchesFullRun) {
+  // The within-trace partitioning contract: a column slice accumulated
+  // with the matrix stride equals the same columns of the full run.
+  Rng rng(3);
+  const std::size_t cols = 53;
+  Matrix w(24, cols);
+  for (float& v : w.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  std::vector<std::uint32_t> rows{1, 5, 5, 9, 20, 23};
+  std::vector<float> full(cols, 0.0f);
+  kernels::accumulate_rows(w.flat().data(), cols, cols, rows, full.data());
+  std::vector<float> sliced(cols, 0.0f);
+  const std::size_t cut = 17;
+  kernels::accumulate_rows(w.flat().data(), cols, cut, rows, sliced.data());
+  kernels::accumulate_rows(w.flat().data() + cut, cols, cols - cut, rows,
+                           sliced.data() + cut);
+  EXPECT_EQ(full, sliced);
+}
+
+TEST(Kernels, MatvecInMajorMatchesNaiveBitForBit) {
+  Rng rng(4);
+  for (const auto& [rows, cols] :
+       {std::pair<std::size_t, std::size_t>{1, 1}, {7, 5}, {64, 64},
+        {100, 33}, {33, 100}}) {
+    Matrix w(rows, cols);
+    for (float& v : w.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+    auto x = random_vec(rows, rng, 0.0, 1.0);
+    if (rows > 2) x[rows / 2] = 0.0f;  // exercise the zero-skip path
+
+    std::vector<float> naive(cols, 0.0f);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (x[r] == 0.0f) continue;
+      for (std::size_t c = 0; c < cols; ++c) naive[c] += x[r] * w(r, c);
+    }
+    std::vector<float> fast(cols, 1.0f);  // must be overwritten
+    kernels::matvec_in_major(w.flat().data(), rows, cols, x.data(),
+                             fast.data());
+    EXPECT_EQ(naive, fast) << rows << "x" << cols;
+  }
+}
+
+TEST(Kernels, MatvecOutMajorMatchesNaiveBitForBit) {
+  Rng rng(5);
+  const std::size_t rows = 37, cols = 41;
+  Matrix w(rows, cols);
+  for (float& v : w.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  const auto x = random_vec(cols, rng);
+  std::vector<float> naive(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) acc += w(r, c) * x[c];
+    naive[r] = acc;
+  }
+  std::vector<float> fast(rows);
+  kernels::matvec_out_major(w.flat().data(), rows, cols, x.data(),
+                            fast.data());
+  EXPECT_EQ(naive, fast);
+}
+
+// Naive bounds-checked conv (the loop nest train::Ann used before the
+// kernel layer) — the reference every conv case is compared against.
+void naive_conv(const float* in, std::size_t ic, std::size_t ih,
+                std::size_t iw, const Matrix& w, std::size_t oc_n,
+                std::size_t k, std::size_t pad, std::size_t oh,
+                std::size_t ow, float* out) {
+  for (std::size_t oc = 0; oc < oc_n; ++oc) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < ic; ++c) {
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                      static_cast<std::ptrdiff_t>(pad);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(ih)) continue;
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox + kx) -
+                                        static_cast<std::ptrdiff_t>(pad);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(iw)) continue;
+              acc += in[(c * ih + static_cast<std::size_t>(iy)) * iw +
+                        static_cast<std::size_t>(ix)] *
+                     w((c * k + ky) * k + kx, oc);
+            }
+          }
+        }
+        out[(oc * oh + oy) * ow + ox] = acc;
+      }
+    }
+  }
+}
+
+struct ConvCase {
+  std::size_t ic, ih, iw, oc, k;
+  bool same;
+};
+
+TEST(Kernels, ConvForwardMatchesNaiveAcrossOddShapes) {
+  // Odd shapes on purpose: patch sizes straddling the GEMM block (48),
+  // k=1/3/5, padded and unpadded, non-square images.
+  const ConvCase cases[] = {
+      {1, 5, 5, 1, 1, false},   // degenerate 1x1
+      {3, 9, 9, 5, 3, true},    // patch 27 < block
+      {7, 8, 6, 4, 3, true},    // patch 63, non-square
+      {6, 11, 11, 3, 3, false}, // valid conv, patch 54 > block
+      {2, 13, 7, 9, 5, true},   // k=5, patch 50
+      {4, 7, 7, 2, 5, false},   // k=5 valid, output 3x3
+      {52, 14, 14, 64, 3, true} // the paper-scale MNIST-CNN layer
+  };
+  Rng rng(6);
+  for (const ConvCase& cc : cases) {
+    const std::size_t pad = cc.same ? cc.k / 2 : 0;
+    const std::size_t oh = cc.same ? cc.ih : cc.ih - cc.k + 1;
+    const std::size_t ow = cc.same ? cc.iw : cc.iw - cc.k + 1;
+    const auto in = random_vec(cc.ic * cc.ih * cc.iw, rng, 0.0, 1.0);
+    Matrix w(cc.ic * cc.k * cc.k, cc.oc);
+    for (float& v : w.flat()) v = static_cast<float>(rng.normal(0.0, 0.5));
+
+    std::vector<float> naive(cc.oc * oh * ow, -1.0f);
+    naive_conv(in.data(), cc.ic, cc.ih, cc.iw, w, cc.oc, cc.k, pad, oh, ow,
+               naive.data());
+    std::vector<float> fast(cc.oc * oh * ow, 1.0f);
+    kernels::Scratch scratch;
+    kernels::conv2d_forward(in.data(), cc.ic, cc.ih, cc.iw, w.flat().data(),
+                            cc.oc, cc.k, pad, oh, ow, fast.data(), scratch);
+    EXPECT_EQ(naive, fast) << cc.ic << "x" << cc.ih << "x" << cc.iw << " k"
+                           << cc.k << (cc.same ? " same" : " valid");
+  }
+}
+
+TEST(Kernels, Im2colZeroFillsOutOfImageTaps) {
+  // 1x2x2 input, k=3 same padding: every patch row is one tap; corners
+  // must be zero-filled exactly where the tap leaves the image.
+  const float in[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> col(9 * 4, -1.0f);
+  kernels::im2col(in, 1, 2, 2, 3, 1, 2, 2, col.data());
+  // Tap (ky=1, kx=1) is the identity: row 4 equals the image.
+  EXPECT_EQ(col[4 * 4 + 0], 1.0f);
+  EXPECT_EQ(col[4 * 4 + 3], 4.0f);
+  // Tap (ky=0, kx=0) reads up-left: only output (1,1) sees pixel (0,0).
+  EXPECT_EQ(col[0 * 4 + 0], 0.0f);
+  EXPECT_EQ(col[0 * 4 + 1], 0.0f);
+  EXPECT_EQ(col[0 * 4 + 2], 0.0f);
+  EXPECT_EQ(col[0 * 4 + 3], 1.0f);
+}
+
+TEST(Kernels, ScatterAccumulatePartitionInvariant) {
+  // Every layer kind, odd sizes: the partitioned scatter must reassemble
+  // the serial result bit-for-bit for any partition count.
+  const Topology topo("scatter", Shape3{3, 8, 8},
+                      {LayerSpec::conv(5, 3, true), LayerSpec::avg_pool(2),
+                       LayerSpec::dense(23)});
+  snn::Network net(topo);
+  Rng rng(7);
+  net.init_random(rng, 1.0f);
+
+  for (std::size_t l = 0; l < topo.layer_count(); ++l) {
+    const auto& li = topo.layers()[l];
+    std::vector<std::uint32_t> active;
+    for (std::size_t i = 0; i < li.in_shape.size(); i += 3)
+      active.push_back(static_cast<std::uint32_t>(i));
+    std::vector<float> serial(li.neurons, 0.0f);
+    snn::scatter_accumulate(li, net.layer(l).weights, active, serial);
+    for (const std::size_t parts : {2u, 3u, 7u}) {
+      std::vector<float> split(li.neurons, 0.0f);
+      for (std::size_t p = 0; p < parts; ++p)
+        snn::scatter_accumulate(li, net.layer(l).weights, active, split, p,
+                                parts);
+      EXPECT_EQ(serial, split) << "layer " << l << " parts " << parts;
+    }
+  }
+}
+
+TEST(Kernels, ReusedSimulatorMatchesFreshBitForBit) {
+  // The allocation-free steady state reuses one Simulator across
+  // presentations; the trace must equal a fresh simulator's exactly, in
+  // both engines.
+  const Topology topo = snn::small_cnn_topology(snn::DatasetKind::kMnistLike);
+  snn::Network net(topo);
+  Rng wrng(8);
+  net.init_random(wrng, 1.0f);
+  net.set_uniform_threshold(1.5);
+
+  std::vector<float> img_a(topo.input_shape().size());
+  std::vector<float> img_b(topo.input_shape().size());
+  for (auto& p : img_a) p = static_cast<float>(wrng.uniform(0.0, 1.0));
+  for (auto& p : img_b) p = static_cast<float>(wrng.uniform(0.0, 1.0));
+
+  for (const auto mode :
+       {snn::ExecutionMode::kDense, snn::ExecutionMode::kSparse}) {
+    snn::SimConfig cfg;
+    cfg.timesteps = 6;
+    cfg.mode = mode;
+    snn::Simulator reused(net, cfg);
+    Rng r1(9);
+    (void)reused.run(img_a, r1);
+    const snn::SimResult second = reused.run(img_b, r1);
+
+    snn::Simulator fresh(net, cfg);
+    Rng r2(9);
+    (void)fresh.run(img_a, r2);
+    const snn::SimResult expect = fresh.run(img_b, r2);
+
+    EXPECT_EQ(second.output_spike_counts, expect.output_spike_counts);
+    EXPECT_EQ(second.total_spikes, expect.total_spikes);
+    ASSERT_EQ(second.trace.layers.size(), expect.trace.layers.size());
+    for (std::size_t l = 0; l < expect.trace.layers.size(); ++l) {
+      for (std::size_t t = 0; t < expect.trace.layers[l].size(); ++t) {
+        const auto got = second.trace.layers[l][t].words();
+        const auto want = expect.trace.layers[l][t].words();
+        ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(),
+                               want.end()))
+            << "mode " << to_string(mode) << " layer " << l << " t " << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resparc

@@ -30,8 +30,9 @@ TEST(Quantize, PreservesSign) {
   for (std::size_t i = 0; i < w.size(); ++i) {
     const float orig = w.flat()[i];
     const float quant = q.flat()[i];
-    if (quant != 0.0f)
+    if (quant != 0.0f) {
       EXPECT_EQ(std::signbit(orig), std::signbit(quant));
+    }
   }
 }
 

@@ -1,0 +1,175 @@
+// Persistent ThreadPool semantics (common/thread_pool.hpp): exactly-once
+// execution, worker ids, job reuse, nested-call degradation, the
+// parallel_for wrapper, and — the satellite this PR fixes — prompt
+// cooperative cancellation after a worker throws (the legacy spawn-per-
+// call pool let surviving workers drain the whole counter).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "common/thread_pool.hpp"
+#include "snn/benchmarks.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
+
+namespace resparc {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t count : {1u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(count);
+    for (auto& h : hits) h = 0;
+    pool.run_indexed(count, 0, [&](std::size_t i, std::size_t) { ++hits[i]; });
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_EQ(hits[i], 1) << "index " << i << " of " << count;
+  }
+}
+
+TEST(ThreadPool, WorkerIdsAreStableAndInRange) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.width(), 4u);
+  std::vector<std::atomic<int>> by_worker(pool.width());
+  for (auto& c : by_worker) c = 0;
+  pool.run_indexed(512, 0, [&](std::size_t, std::size_t worker) {
+    ASSERT_LT(worker, pool.width());
+    ++by_worker[worker];
+  });
+  int total = 0;
+  for (auto& c : by_worker) total += c;
+  EXPECT_EQ(total, 512);
+}
+
+TEST(ThreadPool, MaxWorkersCapsParticipation) {
+  ThreadPool pool(8);
+  std::atomic<int> max_seen{0};
+  pool.run_indexed(256, 2, [&](std::size_t, std::size_t worker) {
+    int seen = static_cast<int>(worker);
+    int cur = max_seen.load();
+    while (seen > cur && !max_seen.compare_exchange_weak(cur, seen)) {
+    }
+  });
+  // Worker ids are dense from 0: a cap of 2 admits ids {0, 1} only.
+  EXPECT_LT(max_seen.load(), 2);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int job = 0; job < 50; ++job)
+    pool.run_indexed(100, 0,
+                     [&](std::size_t i, std::size_t) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 50L * (99L * 100L / 2L));
+}
+
+TEST(ThreadPool, NestedCallRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_items{0};
+  pool.run_indexed(8, 0, [&](std::size_t, std::size_t) {
+    pool.run_indexed(4, 0,
+                     [&](std::size_t, std::size_t) { ++inner_items; });
+  });
+  EXPECT_EQ(inner_items.load(), 32);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndCancelsPromptly) {
+  ThreadPool pool(4);
+  // A huge job whose very first item throws: with cooperative
+  // cancellation the surviving workers must stop claiming almost
+  // immediately instead of draining the remaining ~10^6 items.
+  const std::size_t count = 1u << 20;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      pool.run_indexed(count, 0,
+                       [&](std::size_t i, std::size_t) {
+                         if (i == 0) throw std::runtime_error("boom");
+                         ++executed;
+                       }),
+      std::runtime_error);
+  // Generous bound: anything close to `count` means cancellation failed.
+  // (One chunk per worker may complete before the flag is seen.)
+  EXPECT_LT(executed.load(), count / 4);
+}
+
+TEST(ThreadPool, ParallelForMatchesSerialAndRethrows) {
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    std::vector<int> out(1000, 0);
+    parallel_for(out.size(), threads,
+                 [&](std::size_t i) { out[i] = static_cast<int>(i % 7); });
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], static_cast<int>(i % 7));
+  }
+  EXPECT_THROW(parallel_for(64, 4,
+                            [](std::size_t i) {
+                              if (i == 13) throw std::runtime_error("x");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, WithinTracePartitioningIsBitForBit) {
+  // A simulator spreading its per-layer scatter over pool partitions must
+  // produce the exact trace of the serial run (the partitioned scatter is
+  // element-order preserving; docs/performance.md).
+  const snn::Topology topo =
+      snn::small_cnn_topology(snn::DatasetKind::kMnistLike);
+  snn::Network net(topo);
+  Rng wrng(31);
+  net.init_random(wrng, 1.0f);
+  net.set_uniform_threshold(1.2);
+  std::vector<float> img(topo.input_shape().size());
+  for (auto& p : img) p = static_cast<float>(wrng.uniform(0.0, 1.0));
+
+  snn::SimConfig cfg;
+  cfg.timesteps = 5;
+  snn::Simulator serial(net, cfg);
+  Rng r1(32);
+  const snn::SimResult want = serial.run(img, r1);
+
+  ThreadPool pool(4);
+  snn::Simulator pooled(net, cfg);
+  pooled.set_pool(&pool, 0, /*min_outputs=*/1);  // partition every layer
+  Rng r2(32);
+  const snn::SimResult got = pooled.run(img, r2);
+
+  EXPECT_EQ(got.output_spike_counts, want.output_spike_counts);
+  EXPECT_EQ(got.total_spikes, want.total_spikes);
+  ASSERT_EQ(got.trace.layers.size(), want.trace.layers.size());
+  for (std::size_t l = 0; l < want.trace.layers.size(); ++l) {
+    for (std::size_t t = 0; t < want.trace.layers[l].size(); ++t) {
+      const auto a = got.trace.layers[l][t].words();
+      const auto b = want.trace.layers[l][t].words();
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "layer " << l << " step " << t;
+    }
+  }
+}
+
+TEST(ThreadPool, PipelineSinglePresentationUsesPoolDeterministically) {
+  // n == 1 routes the requested parallelism inside the trace; the
+  // workload must equal the threads=1 run bit-for-bit.
+  api::PipelineOptions opt;
+  opt.images = 1;
+  opt.timesteps = 6;
+  opt.threads = 1;
+  const auto spec = snn::mnist_cnn();
+  const api::Workload serial = api::Pipeline(opt).benchmark(spec).run();
+  opt.threads = 4;
+  const api::Workload pooled = api::Pipeline(opt).benchmark(spec).run();
+  ASSERT_EQ(serial.traces.size(), pooled.traces.size());
+  EXPECT_EQ(serial.predicted, pooled.predicted);
+  for (std::size_t l = 0; l < serial.traces[0].layers.size(); ++l) {
+    for (std::size_t t = 0; t < serial.traces[0].layers[l].size(); ++t) {
+      const auto a = serial.traces[0].layers[l][t].words();
+      const auto b = pooled.traces[0].layers[l][t].words();
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "layer " << l << " step " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resparc
