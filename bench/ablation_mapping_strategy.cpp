@@ -7,8 +7,7 @@
 // 32/64/128 and reports what each strategy trades: crossbar utilisation,
 // deployed arrays/NeuroCells, serial-bus boundaries, measured energy per
 // classification and classifications/sec (EPS).  Results go to stdout and
-// to ablation_mapping_strategy.json for the bench trajectory.
-#include <fstream>
+// to bench/trajectory/ablation_mapping_strategy.json for the trajectory.
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -104,11 +103,6 @@ int main() {
   }
   metrics << "  ]}";
 
-  const std::string path = "ablation_mapping_strategy.json";
-  std::ofstream out(path);
-  if (out)
-    out << bench::trajectory_envelope("ablation_mapping_strategy",
-                                      config.str(), metrics.str());
-  bench::note_csv_written(path, static_cast<bool>(out));
+  bench::write_trajectory("ablation_mapping_strategy", config.str(), metrics.str());
   return 0;
 }

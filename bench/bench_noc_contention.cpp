@@ -1,0 +1,145 @@
+// Ml-NoC contention sweep — analytic vs event NoC fidelity across MCA
+// sizes (docs/noc.md, docs/benchmarks.md).
+//
+// The MNIST CNN workload is traced once; the sweep then replays the same
+// traces through RESPARC at MCA 64/128/256 under both NoC fidelities.
+// Smaller arrays deploy more NeuroCells, which deepens the inter-cell
+// H-tree and pushes more layer boundaries onto the serial global bus —
+// the event model turns that into hop pipeline-fill and congestion stall
+// cycles the flat analytic charges cannot see.  Rows report the deployed
+// fabric (NeuroCells, bus boundaries, per-level hops), both latencies,
+// the stall cycles and the event/analytic inflation; the committed JSON
+// is the acceptance evidence that event fidelity separates the
+// configurations (tools/validate_trajectory.py checks it).
+//
+// Latencies and hop counts are cycle-model outputs, not wall clock, so
+// rows are deterministic for a given workload.
+//
+// Environment knobs:
+//   RESPARC_BENCH_IMAGES    presentations per measurement (default 3)
+//   RESPARC_BENCH_TIMESTEPS presentation length           (default 32)
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "api/registry.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "compile/compiler.hpp"
+#include "core/config.hpp"
+#include "noc/route.hpp"
+#include "snn/benchmarks.hpp"
+
+namespace {
+
+using namespace resparc;
+
+struct Row {
+  std::size_t mca = 0;               ///< crossbar size N
+  std::size_t neurocells = 0;        ///< NeuroCells deployed
+  std::size_t bus_boundaries = 0;    ///< layer boundaries on the global bus
+  double analytic_latency_ns = 0;    ///< pipelined latency, analytic NoC
+  double event_latency_ns = 0;       ///< pipelined latency, event NoC
+  double event_serial_ns = 0;        ///< end-to-end serial latency, event NoC
+  double inflation = 0;              ///< event / analytic latency
+  double stall_cycles = 0;           ///< congestion stalls per classification
+  double tree_hops = 0;              ///< H-tree word-hops over the trace set
+  double mesh_hops = 0;              ///< switch-mesh word-hops over the set
+  double bus_words = 0;              ///< serial bus words over the trace set
+  double analytic_energy_uj = 0;     ///< energy/classification, analytic
+  double event_energy_uj = 0;        ///< energy/classification, event
+};
+
+api::ExecutionReport run_fidelity(const api::Workload& w, std::size_t mca,
+                                  noc::Fidelity fidelity) {
+  api::BackendOptions options;
+  options.noc = fidelity;
+  auto accel =
+      api::make_accelerator("resparc-" + std::to_string(mca), options);
+  accel->load(w.topology());
+  return accel->execute(w.traces);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ml-NoC contention: analytic vs event fidelity ==\n");
+  std::printf("(mnist-cnn, MCA 64/128/256; deterministic cycle-model "
+              "outputs)\n\n");
+
+  const api::Workload w = bench::make_workload(snn::mnist_cnn());
+
+  const std::vector<std::size_t> sizes = {64, 128, 256};
+  std::vector<Row> rows;
+  for (const std::size_t mca : sizes) {
+    const api::ExecutionReport analytic =
+        run_fidelity(w, mca, noc::Fidelity::kAnalytic);
+    const api::ExecutionReport event =
+        run_fidelity(w, mca, noc::Fidelity::kEvent);
+    const core::RunReport& ar = *analytic.resparc;
+    const core::RunReport& er = *event.resparc;
+
+    Row row;
+    row.mca = mca;
+    row.bus_boundaries = 0;
+    {  // deployed fabric + routing summary from a fresh compile
+      compile::Compiler compiler(core::config_with_mca(mca));
+      const compile::CompiledProgram p = compiler.compile(w.topology());
+      row.neurocells = p.mapping.total_neurocells;
+      for (const noc::Route& r : p.routes.boundaries)
+        if (r.uses_bus) ++row.bus_boundaries;
+    }
+    row.analytic_latency_ns = analytic.latency_ns;
+    row.event_latency_ns = event.latency_ns;
+    row.event_serial_ns = er.perf.latency_serial_ns();
+    row.inflation = analytic.latency_ns > 0
+                        ? event.latency_ns / analytic.latency_ns
+                        : 0.0;
+    row.stall_cycles = er.perf.cycles_stall;
+    row.tree_hops = static_cast<double>(er.noc.tree.hops);
+    row.mesh_hops = static_cast<double>(er.noc.mesh.hops);
+    row.bus_words = static_cast<double>(er.noc.bus.words);
+    row.analytic_energy_uj = ar.energy.total_pj() * 1e-6;
+    row.event_energy_uj = er.energy.total_pj() * 1e-6;
+    rows.push_back(row);
+
+    std::printf(
+        "MCA-%-3zu | NCs %4zu | bus bnd %zu | analytic %9.1f ns | event "
+        "%9.1f ns (%.3fx) | stall %8.1f cy | tree hops %.0f\n",
+        row.mca, row.neurocells, row.bus_boundaries, row.analytic_latency_ns,
+        row.event_latency_ns, row.inflation, row.stall_cycles, row.tree_hops);
+  }
+
+  std::ostringstream config;
+  config << "{\"benchmark\": \"mnist-cnn\", \"presentations\": "
+         << bench::bench_images()
+         << ", \"timesteps\": " << bench::bench_timesteps()
+         << ", \"strategy\": \"paper\"}";
+  std::ostringstream metrics;
+  metrics << "{\"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    metrics << "    {\"mca\": " << r.mca
+            << ", \"neurocells\": " << r.neurocells
+            << ", \"bus_boundaries\": " << r.bus_boundaries
+            << ", \"analytic_latency_ns\": "
+            << Table::num(r.analytic_latency_ns, 1)
+            << ", \"event_latency_ns\": " << Table::num(r.event_latency_ns, 1)
+            << ", \"event_serial_ns\": " << Table::num(r.event_serial_ns, 1)
+            << ", \"inflation\": " << Table::num(r.inflation, 4)
+            << ", \"stall_cycles\": " << Table::num(r.stall_cycles, 1)
+            << ", \"tree_hops\": " << Table::num(r.tree_hops, 0)
+            << ", \"mesh_hops\": " << Table::num(r.mesh_hops, 0)
+            << ", \"bus_words\": " << Table::num(r.bus_words, 0)
+            << ", \"analytic_energy_uj\": "
+            << Table::num(r.analytic_energy_uj, 4)
+            << ", \"event_energy_uj\": " << Table::num(r.event_energy_uj, 4)
+            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  metrics << "  ]}";
+
+  bench::write_trajectory("bench_noc_contention", config.str(), metrics.str());
+  return 0;
+}

@@ -4,7 +4,8 @@
 // benchmark: trace simulation (presentations/sec through Pipeline::run)
 // and backend execution (traces/sec through Pipeline::execute on the
 // RESPARC and CMOS backends).  Results go to stdout and to
-// pipeline_throughput.json so future PRs can track the perf trajectory.
+// bench/trajectory/pipeline_throughput.json so future PRs can track the
+// perf trajectory.
 //
 // Environment knobs:
 //   RESPARC_BENCH_IMAGES    presentations per measurement (default 8)
@@ -14,7 +15,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -151,11 +151,6 @@ int main() {
   }
   metrics << "  ]}";
 
-  const std::string path = "pipeline_throughput.json";
-  std::ofstream out(path);
-  if (out)
-    out << bench::trajectory_envelope("pipeline_throughput", config.str(),
-                                      metrics.str());
-  bench::note_csv_written(path, static_cast<bool>(out));
+  bench::write_trajectory("pipeline_throughput", config.str(), metrics.str());
   return 0;
 }

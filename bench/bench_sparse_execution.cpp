@@ -10,8 +10,8 @@
 // each sparsity level the bench reports measured input sparsity and mean
 // activity (snn::ActivityTrace), dense and sparse traces/sec, and the
 // speedup; sparse throughput must rise monotonically with sparsity.
-// Results go to stdout and bench_sparse_execution.json (the trajectory
-// envelope of bench/trajectory/README.md).
+// Results go to stdout and bench/trajectory/bench_sparse_execution.json
+// (the trajectory envelope of bench/trajectory/README.md).
 //
 // Environment knobs:
 //   RESPARC_BENCH_IMAGES    presentations per measurement (default 3)
@@ -19,7 +19,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -139,11 +138,6 @@ int main() {
   }
   metrics << "  ]}";
 
-  const std::string path = "bench_sparse_execution.json";
-  std::ofstream out(path);
-  if (out)
-    out << bench::trajectory_envelope("bench_sparse_execution", config.str(),
-                                      metrics.str());
-  bench::note_csv_written(path, static_cast<bool>(out));
+  bench::write_trajectory("bench_sparse_execution", config.str(), metrics.str());
   return 0;
 }

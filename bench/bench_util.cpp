@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
 
 namespace resparc::bench {
 namespace {
@@ -63,6 +66,25 @@ std::string trajectory_envelope(const std::string& bench,
   out += "  \"metrics\": " + metrics_json + "\n";
   out += "}\n";
   return out;
+}
+
+std::string trajectory_dir() {
+  const char* value = std::getenv("RESPARC_TRAJECTORY_DIR");
+  return value != nullptr && value[0] != '\0' ? std::string(value)
+                                              : std::string("bench/trajectory");
+}
+
+bool write_trajectory(const std::string& bench, const std::string& config_json,
+                      const std::string& metrics_json) {
+  const std::string dir = trajectory_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; open decides
+  const std::string path = dir + "/" + bench + ".json";
+  std::ofstream out(path);
+  if (out) out << trajectory_envelope(bench, config_json, metrics_json);
+  const bool ok = static_cast<bool>(out);
+  note_csv_written(path, ok);
+  return ok;
 }
 
 void note_csv_written(const std::string& path, bool ok) {

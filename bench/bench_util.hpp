@@ -67,4 +67,16 @@ std::string trajectory_envelope(const std::string& bench,
                                 const std::string& config_json,
                                 const std::string& metrics_json);
 
+/// Directory tracked benches write their trajectory JSON into:
+/// RESPARC_TRAJECTORY_DIR when set, otherwise "bench/trajectory" (created
+/// on demand) — so a run from the repo root refreshes the committed
+/// snapshots in place and nothing strays into the working directory.
+std::string trajectory_dir();
+
+/// Writes `<trajectory_dir()>/<bench>.json` with the rendered envelope
+/// (trajectory_envelope) and reports the path via note_csv_written.
+/// Returns false when the directory or file cannot be created.
+bool write_trajectory(const std::string& bench, const std::string& config_json,
+                      const std::string& metrics_json);
+
 }  // namespace resparc::bench

@@ -13,7 +13,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -235,11 +234,6 @@ int main() {
   }
   metrics << "  ]}";
 
-  const std::string path = "micro_kernels.json";
-  std::ofstream out(path);
-  if (out)
-    out << bench::trajectory_envelope("micro_kernels", config.str(),
-                                      metrics.str());
-  bench::note_csv_written(path, static_cast<bool>(out));
+  bench::write_trajectory("micro_kernels", config.str(), metrics.str());
   return 0;
 }

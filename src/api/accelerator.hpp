@@ -52,6 +52,12 @@ struct ExecutionReport {
   /// core/memory_access/memory_leakage.
   std::vector<std::pair<std::string, double>> energy_breakdown_pj;
 
+  /// Named latency buckets (ns per classification, serial decomposition):
+  /// the RESPARC backend reports compute / transport / noc_stall from the
+  /// Ml-NoC model (docs/noc.md; stall is 0 in analytic fidelity).
+  /// Backends without a transport model leave it empty.
+  std::vector<std::pair<std::string, double>> latency_breakdown_ns;
+
   /// Native typed report when the producer is the RESPARC backend.
   std::optional<core::RunReport> resparc;
   /// Native typed report when the producer is the CMOS baseline backend.
@@ -67,6 +73,13 @@ struct ExecutionReport {
   /// Value of one named breakdown bucket (0 when absent).
   double bucket_pj(const std::string& name) const {
     for (const auto& [key, value] : energy_breakdown_pj)
+      if (key == name) return value;
+    return 0.0;
+  }
+
+  /// Value of one named latency bucket (0 when absent).
+  double bucket_ns(const std::string& name) const {
+    for (const auto& [key, value] : latency_breakdown_ns)
       if (key == name) return value;
     return 0.0;
   }

@@ -20,6 +20,14 @@ ExecutionReport to_execution_report(const core::RunReport& report,
       {"crossbar", report.energy.crossbar_pj},
       {"peripherals", report.energy.peripherals_pj()},
   };
+  const double ns_per_cycle = report.perf.clock_mhz > 0.0
+                                  ? 1e3 / report.perf.clock_mhz
+                                  : 0.0;
+  out.latency_breakdown_ns = {
+      {"compute", report.perf.cycles_compute * ns_per_cycle},
+      {"transport", report.perf.cycles_transport * ns_per_cycle},
+      {"noc_stall", report.perf.cycles_stall * ns_per_cycle},
+  };
   out.resparc = report;
   return out;
 }
@@ -44,8 +52,9 @@ ExecutionReport to_execution_report(const cmos::CmosReport& report,
 // ----------------------------------------------------------------- RESPARC --
 
 ResparcBackend::ResparcBackend(core::ResparcConfig config, std::string strategy,
-                               snn::ExecutionMode execution)
-    : chip_(std::move(config)),
+                               snn::ExecutionMode execution,
+                               noc::Fidelity noc)
+    : chip_(std::move(config), noc),
       strategy_(std::move(strategy)),
       execution_(execution) {
   require(!strategy_.empty(), "ResparcBackend: empty strategy name");
@@ -56,6 +65,7 @@ std::string ResparcBackend::name() const {
   std::string name = s == "paper" ? chip_.config().label()
                                   : chip_.config().label() + "/" + s;
   if (execution_ == snn::ExecutionMode::kSparse) name += "+sparse";
+  if (chip_.fidelity() == noc::Fidelity::kEvent) name += "@event";
   return name;
 }
 

@@ -15,6 +15,7 @@
 #include "cmos/falcon.hpp"
 #include "compile/program.hpp"
 #include "core/resparc.hpp"
+#include "noc/route.hpp"
 #include "snn/execution.hpp"
 
 namespace resparc::api {
@@ -26,15 +27,17 @@ namespace resparc::api {
 class ResparcBackend final : public Accelerator {
  public:
   /// Builds an unloaded backend for `config`; `strategy` picks the
-  /// compile-layer mapping policy and `execution` the trace-replay mode.
+  /// compile-layer mapping policy, `execution` the trace-replay mode and
+  /// `noc` the Ml-NoC timing fidelity (docs/noc.md).
   explicit ResparcBackend(
       core::ResparcConfig config = core::default_config(),
       std::string strategy = "paper",
-      snn::ExecutionMode execution = snn::ExecutionMode::kDense);
+      snn::ExecutionMode execution = snn::ExecutionMode::kDense,
+      noc::Fidelity noc = noc::Fidelity::kAnalytic);
 
   /// Config label, e.g. "RESPARC-64"; non-default strategies append
-  /// `"/<strategy>"` and sparse execution appends "+sparse"
-  /// ("RESPARC-64/greedy-pack+sparse").
+  /// `"/<strategy>"`, sparse execution appends "+sparse" and event NoC
+  /// fidelity appends "@event" ("RESPARC-64/greedy-pack+sparse@event").
   std::string name() const override;
   /// Compiles `topology` with the configured strategy and hosts it.
   void load(const snn::Topology& topology) override;
@@ -54,6 +57,9 @@ class ResparcBackend final : public Accelerator {
 
   /// The configured execution mode.
   snn::ExecutionMode execution() const { return execution_; }
+
+  /// The configured Ml-NoC timing fidelity.
+  noc::Fidelity noc_fidelity() const { return chip_.fidelity(); }
 
   /// Hosts a compiled artifact (fingerprint-checked against this config);
   /// strategy() and name() then reflect the program's strategy.

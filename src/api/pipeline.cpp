@@ -245,6 +245,7 @@ ExecutionReport merge_reports(std::vector<ExecutionReport>& parts) {
       total.energy += p.resparc->energy;
       total.events += p.resparc->events;
       total.perf += p.resparc->perf;
+      total.noc += p.resparc->noc;
       total.classifications += p.resparc->classifications;
       if (p.events.has_value())
         stream.merge(*p.events);

@@ -16,7 +16,7 @@ NamedRegistry<BackendFactory>& registry() {
   std::call_once(once, [] {
     instance.set("resparc", [](const BackendOptions& o) {
       return std::make_unique<ResparcBackend>(o.resparc, o.strategy,
-                                              o.execution);
+                                              o.execution, o.noc);
     });
     for (const std::size_t mca : {32u, 64u, 128u, 256u}) {
       instance.set("resparc-" + std::to_string(mca),
@@ -24,7 +24,7 @@ NamedRegistry<BackendFactory>& registry() {
                      core::ResparcConfig config = o.resparc;
                      config.mca_size = mca;
                      return std::make_unique<ResparcBackend>(config, o.strategy,
-                                                             o.execution);
+                                                             o.execution, o.noc);
                    });
     }
     const BackendFactory cmos = [](const BackendOptions& o) {

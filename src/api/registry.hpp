@@ -36,6 +36,7 @@
 #include "cmos/falcon.hpp"
 #include "common/error.hpp"
 #include "core/config.hpp"
+#include "noc/route.hpp"
 #include "snn/execution.hpp"
 
 namespace resparc::api {
@@ -64,6 +65,11 @@ struct BackendOptions {
   /// bit-for-bit identical to dense.  A `"+<mode>"` key suffix overrides
   /// this.  Backends without mode support ignore it.
   snn::ExecutionMode execution = snn::ExecutionMode::kDense;
+  /// Ml-NoC timing fidelity for the RESPARC fabric (docs/noc.md):
+  /// kAnalytic reproduces the flat per-word transfer charges bit-for-bit;
+  /// kEvent drives switch-FIFO queues and adds hop pipeline-fill plus
+  /// congestion stall latency.  Backends without a NoC model ignore it.
+  noc::Fidelity noc = noc::Fidelity::kAnalytic;
 };
 
 /// Factory signature: build an accelerator from shared options.

@@ -56,8 +56,16 @@ CompiledProgram Compiler::run_passes(const snn::Topology& topology,
   // -- place -----------------------------------------------------------------
   strategy.place(program.mapping, config_);
 
-  // -- route-estimate --------------------------------------------------------
-  program.cost = estimate_cost(topology, program.mapping, options_.activity);
+  // -- route -----------------------------------------------------------------
+  // The real routing pass: one Ml-NoC Route per layer boundary (input
+  // broadcast, inter-layer edges, final egress), serialized with the
+  // program so the executor replays on exactly the routes the candidate
+  // was scored with (docs/noc.md).
+  program.routes = noc::compute_routes(program.mapping);
+
+  // -- cost-estimate ---------------------------------------------------------
+  program.cost = estimate_cost(topology, program.mapping, program.routes,
+                               options_.activity);
   program.report = utilization_report(topology, program.mapping);
   return program;
 }

@@ -33,8 +33,18 @@ double expected_sent_words(std::size_t words, double activity,
 CostEstimate estimate_cost(const snn::Topology& topology,
                            const core::Mapping& mapping,
                            double activity) {
+  return estimate_cost(topology, mapping, noc::compute_routes(mapping),
+                       activity);
+}
+
+CostEstimate estimate_cost(const snn::Topology& topology,
+                           const core::Mapping& mapping,
+                           const noc::RouteTable& routes,
+                           double activity) {
   require(topology.layer_count() == mapping.layers.size(),
           "estimate_cost: mapping does not match topology");
+  require(routes.size() == topology.layer_count() + 1,
+          "estimate_cost: route table does not cover every boundary");
   require(activity > 0.0 && activity <= 1.0,
           "estimate_cost: activity must be in (0,1]");
 
@@ -96,9 +106,10 @@ CostEstimate estimate_cost(const snn::Topology& topology,
     // -- output transfer toward the next layer ------------------------------
     const std::size_t words = word_count(li.neurons);
     const double sent = expected_sent_words(words, activity, cfg.event_driven);
-    const bool via_bus = l + 1 < topology.layer_count()
-                             ? mapping.boundary_uses_bus(l + 1)
-                             : true;  // final outputs leave on the bus
+    // The routing pass decided the boundary's path; route.uses_bus agrees
+    // with Mapping::boundary_uses_bus by construction (final egress is a
+    // bus route).
+    const bool via_bus = routes.at(l + 1).uses_bus;
     if (via_bus) {
       energy_pj += sent * (d.bus_word_pj + sram.read_energy_pj() +
                            sram.write_energy_pj()) +

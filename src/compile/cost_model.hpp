@@ -12,12 +12,23 @@
 
 #include "compile/program.hpp"
 #include "core/mapper.hpp"
+#include "noc/route.hpp"
 #include "snn/topology.hpp"
 
 namespace resparc::compile {
 
 /// Estimates per-timestep energy and pipelined cycles of `mapping` at a
-/// uniform spike `activity` (fraction of neurons spiking each step).
+/// uniform spike `activity` (fraction of neurons spiking each step),
+/// charging each boundary transfer along its Ml-NoC route — the same
+/// table the executor replays on, so the ranking cannot drift from the
+/// measured transport model.
+CostEstimate estimate_cost(const snn::Topology& topology,
+                           const core::Mapping& mapping,
+                           const noc::RouteTable& routes,
+                           double activity = 0.10);
+
+/// Convenience overload: derives the routes with noc::compute_routes
+/// (identical result — the routing pass is deterministic).
 CostEstimate estimate_cost(const snn::Topology& topology,
                            const core::Mapping& mapping,
                            double activity = 0.10);

@@ -11,7 +11,10 @@ namespace resparc::compile {
 namespace {
 
 constexpr const char* kMagic = "resparc-compiled-program";
-constexpr int kVersion = 1;
+// v2 added the per-boundary Ml-NoC route table (the routing pass output);
+// v1 artifacts are rejected — recompiling is cheap and the routes are
+// part of the contract the executor now runs on.
+constexpr int kVersion = 2;
 
 void put(std::ostream& os, double v) { os << std::hexfloat << v << std::defaultfloat; }
 
@@ -134,6 +137,14 @@ void CompiledProgram::save(std::ostream& os) const {
     }
   }
 
+  os << "routes " << routes.size() << "\n";
+  for (const noc::Route& r : routes.boundaries) {
+    os << "route " << r.boundary << " " << r.src_nc << " " << r.dst_nc_first
+       << " " << r.dst_nc_last << " " << (r.uses_bus ? 1 : 0) << " "
+       << r.mesh_hops << " " << r.tree_hops << " " << r.lca_height << " "
+       << r.src_span << "\n";
+  }
+
   os << "report " << report.size() << "\n";
   for (const LayerUtilization& u : report) {
     os << "u " << u.layer << " " << u.kind << " " << u.mcas << " " << u.mpes
@@ -238,6 +249,27 @@ CompiledProgram CompiledProgram::load(std::istream& is,
     p.mapping.layers.push_back(std::move(lm));
   }
 
+  expect_token(is, "routes");
+  const std::size_t routes = read_count(is, "route count", 1u << 20);
+  p.routes.boundaries.reserve(reserve_hint(routes));
+  for (std::size_t r = 0; r < routes; ++r) {
+    expect_token(is, "route");
+    noc::Route route;
+    route.boundary = read_value<std::size_t>(is, "route boundary");
+    route.src_nc = read_value<std::size_t>(is, "route src_nc");
+    route.dst_nc_first = read_value<std::size_t>(is, "route dst_nc_first");
+    route.dst_nc_last = read_value<std::size_t>(is, "route dst_nc_last");
+    const int bus = read_value<int>(is, "route uses_bus");
+    if (bus != 0 && bus != 1)
+      throw CompileError("invalid route uses_bus " + std::to_string(bus));
+    route.uses_bus = bus == 1;
+    route.mesh_hops = read_value<std::size_t>(is, "route mesh_hops");
+    route.tree_hops = read_value<std::size_t>(is, "route tree_hops");
+    route.lca_height = read_value<std::size_t>(is, "route lca_height");
+    route.src_span = read_value<std::size_t>(is, "route src_span");
+    p.routes.boundaries.push_back(route);
+  }
+
   expect_token(is, "report");
   const std::size_t rows = read_count(is, "report count", 1u << 20);
   p.report.reserve(reserve_hint(rows));
@@ -277,6 +309,11 @@ void CompiledProgram::check_matches(const snn::Topology& topology) const {
                          std::to_string(mapping.layers[l].synapses) + " vs " +
                          std::to_string(topology.layers()[l].synapses));
   }
+  if (!routes.empty() && routes.size() != topology.layer_count() + 1)
+    throw CompileError("program carries " + std::to_string(routes.size()) +
+                       " routes but topology \"" + topology.name() +
+                       "\" has " + std::to_string(topology.layer_count() + 1) +
+                       " boundaries");
 }
 
 }  // namespace resparc::compile

@@ -25,6 +25,7 @@
 #include "common/error.hpp"
 #include "core/config.hpp"
 #include "core/mapper.hpp"
+#include "noc/route.hpp"
 #include "snn/topology.hpp"
 
 namespace resparc::compile {
@@ -71,6 +72,9 @@ struct CompiledProgram {
   std::string topology_summary;      ///< Topology::summary(), checked on load
   std::uint64_t config_fingerprint = 0;  ///< ResparcConfig::fingerprint()
   core::Mapping mapping;             ///< the placed crossbar mapping
+  /// Per-boundary Ml-NoC routes from the compiler's routing pass
+  /// (docs/noc.md); layer_count + 1 entries once compiled.
+  noc::RouteTable routes;
   CostEstimate cost;                 ///< analytic score of this mapping
   std::vector<LayerUtilization> report;  ///< per-layer utilisation rows
 

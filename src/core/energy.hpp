@@ -7,6 +7,8 @@
 
 #include <cstddef>
 
+#include "noc/stats.hpp"
+
 namespace resparc::core {
 
 /// Per-component RESPARC energy (picojoules, per classification unless a
@@ -69,6 +71,14 @@ struct EventCounts {
 struct PerfReport {
   double cycles_pipelined = 0.0;  ///< sum_t max_l stage(l,t): layer-pipelined
   double cycles_serial = 0.0;     ///< sum_t sum_l stage(l,t): one image in flight
+  /// Serial-cycle decomposition (docs/noc.md): crossbar read +
+  /// time-multiplexed integration cycles.
+  double cycles_compute = 0.0;
+  /// Serial-cycle decomposition: NoC service + hop pipeline-fill cycles.
+  double cycles_transport = 0.0;
+  /// Serial-cycle decomposition: cycles stalled on busy NoC resources
+  /// (always 0 in analytic NoC fidelity).
+  double cycles_stall = 0.0;
   double clock_mhz = 0.0;
 
   /// Latency of one classification with the pipeline full (throughput
@@ -87,12 +97,18 @@ struct PerfReport {
   PerfReport& operator+=(const PerfReport& other) {
     cycles_pipelined += other.cycles_pipelined;
     cycles_serial += other.cycles_serial;
+    cycles_compute += other.cycles_compute;
+    cycles_transport += other.cycles_transport;
+    cycles_stall += other.cycles_stall;
     clock_mhz = other.clock_mhz;
     return *this;
   }
   PerfReport& operator/=(double n) {
     cycles_pipelined /= n;
     cycles_serial /= n;
+    cycles_compute /= n;
+    cycles_transport /= n;
+    cycles_stall /= n;
     return *this;
   }
 };
@@ -102,6 +118,9 @@ struct RunReport {
   EnergyBreakdown energy;  ///< per classification (averaged over trace set)
   EventCounts events;      ///< summed over the trace set
   PerfReport perf;         ///< per classification (averaged over trace set)
+  /// Per-level Ml-NoC traffic counters (docs/noc.md), summed over the
+  /// trace set like `events`.
+  noc::NocStats noc;
   std::size_t classifications = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/error.hpp"
 #include "tech/sram.hpp"
@@ -22,7 +23,15 @@ std::size_t nonzero_words(const SpikeVector& v) {
 }  // namespace
 
 Executor::Executor(const snn::Topology& topology, const Mapping& mapping)
-    : topology_(topology), mapping_(mapping) {
+    : Executor(topology, mapping, noc::compute_routes(mapping),
+               noc::Fidelity::kAnalytic) {}
+
+Executor::Executor(const snn::Topology& topology, const Mapping& mapping,
+                   noc::RouteTable routes, noc::Fidelity fidelity)
+    : topology_(topology),
+      mapping_(mapping),
+      routes_(std::move(routes)),
+      fidelity_(fidelity) {
   require(mapping.layers.size() == topology.layer_count(),
           "executor: mapping does not match topology");
   // Catches stale artifacts (e.g. a deserialized CompiledProgram for a
@@ -32,6 +41,10 @@ Executor::Executor(const snn::Topology& topology, const Mapping& mapping)
     require(mapping.layers[l].synapses == topology.layers()[l].synapses,
             "executor: layer " + std::to_string(l) +
                 " synapse count does not match the topology");
+  // One route per boundary: the input broadcast, every inter-layer edge
+  // and the final-layer egress.
+  require(routes_.size() == topology.layer_count() + 1,
+          "executor: route table does not cover every layer boundary");
 }
 
 std::size_t Executor::slice_bits(const InputSlice& slice,
@@ -80,35 +93,53 @@ RunReport Executor::run(const snn::SpikeTrace& trace,
   report.classifications = 1;
   EnergyBreakdown& e = report.energy;
   EventCounts& ev = report.events;
+  noc::NocStats& nstats = report.noc;
 
   double cycles_pipelined = 0.0;
   double cycles_serial = 0.0;
+  double cycles_compute = 0.0;
+  double cycles_transport = 0.0;
+  double cycles_stall = 0.0;
+
+  // The event fabric keeps FIFO queues and per-resource clocks; the
+  // analytic path is pure counter arithmetic (zero-allocation steady
+  // state, tests/test_allocation.cpp) through noc::analytic_transfer.
+  const bool event_noc = fidelity_ == noc::Fidelity::kEvent;
+  std::optional<noc::Fabric> fabric;
+  if (event_noc) fabric.emplace(cfg, mapping_.total_neurocells);
 
   if (stream)
     *stream = EventStream(T, topology_.layer_count() + 1);
 
   for (std::size_t step = 0; step < T; ++step) {
     double stage_max = 0.0;
+    if (fabric) fabric->begin_step();
 
     // -- input broadcast from the SRAM (zero-check at the read port) -----
     {
+      const noc::Route& route = routes_.boundaries[0];
       const SpikeVector& in0 = trace.layers[0][step];
       const std::size_t total = in0.word_count();
       const std::size_t nz = nonzero_words(in0);
       const std::size_t sent = cfg.event_driven ? nz : total;
+      const std::size_t zeros = cfg.event_driven ? total - nz : 0;
       ev.sram_writes += sent;  // host deposits the encoded input
       ev.sram_reads += sent;
       ev.bus_words += sent;
-      if (cfg.event_driven) ev.bus_skips += total - nz;
+      ev.bus_skips += zeros;
       if (stream) {
         StepEvents& cell = stream->at(step, 0);
         cell.words_sent = sent;
-        cell.words_skipped = cfg.event_driven ? total - nz : 0;
+        cell.words_skipped = zeros;
         cell.neuron_fires = in0.count();
       }
-      const double stage = kBusCyclesPerWord * static_cast<double>(sent);
-      stage_max = std::max(stage_max, stage);
-      cycles_serial += stage;
+      const noc::Transport tr =
+          fabric ? fabric->transfer(route, sent, zeros, 0.0)
+                 : noc::analytic_transfer(route, sent, zeros, cfg, nstats);
+      stage_max = std::max(stage_max, tr.cycles);
+      cycles_serial += tr.cycles;
+      cycles_transport += tr.cycles - tr.stall_cycles;
+      cycles_stall += tr.stall_cycles;
     }
 
     for (std::size_t l = 0; l < topology_.layer_count(); ++l) {
@@ -178,25 +209,25 @@ RunReport Executor::run(const snn::SpikeTrace& trace,
         ev.ccu_transfers += li.neurons * lm.ccu_transfers_per_neuron;
 
       // -- output transfer toward the next layer (or off-chip) -----------
+      const noc::Route& route = routes_.boundaries[l + 1];
       const std::size_t total = out_vec.word_count();
       const std::size_t nz = nonzero_words(out_vec);
       const std::size_t sent = cfg.event_driven ? nz : total;
-      const bool via_bus = l + 1 < topology_.layer_count()
-                               ? mapping_.boundary_uses_bus(l + 1)
-                               : true;  // final outputs leave on the bus
+      const std::size_t zeros = cfg.event_driven ? total - nz : 0;
+      const bool via_bus = route.uses_bus;
       if (via_bus) {
         ev.bus_words += sent;
         ev.sram_writes += sent;
         ev.sram_reads += sent;
-        if (cfg.event_driven) ev.bus_skips += total - nz;
+        ev.bus_skips += zeros;
         e.control_pj += d.gcu_event_pj;  // event flag + tagged broadcast
       } else {
         ev.switch_flits += sent;
-        if (cfg.event_driven) ev.switch_skips += total - nz;
+        ev.switch_skips += zeros;
       }
       if (cell) {
         cell->words_sent += sent;
-        if (cfg.event_driven) cell->words_skipped += total - nz;
+        cell->words_skipped += zeros;
       }
       // oBUFF write+read of every sent flit plus a tBUFF address lookup.
       ev.buffer_bits += sent * (2 * static_cast<std::size_t>(t.flit_bits) + 16);
@@ -205,17 +236,26 @@ RunReport Executor::run(const snn::SpikeTrace& trace,
           (layer_active || !cfg.event_driven)
               ? static_cast<double>(lm.mux_cycles) + 1.0
               : 0.0;
-      const double transfer_c =
-          via_bus ? kBusCyclesPerWord * static_cast<double>(sent)
-                  : std::ceil(static_cast<double>(sent) /
-                              static_cast<double>(cfg.nc_dim));
-      const double stage = std::max(compute_c, transfer_c);
+      // Event fidelity: the transfer is injected when the stage's compute
+      // retires, so congestion on a shared resource shows up as stall.
+      const noc::Transport tr =
+          fabric ? fabric->transfer(route, sent, zeros, compute_c)
+                 : noc::analytic_transfer(route, sent, zeros, cfg, nstats);
+      // Analytic keeps the historical overlap (max); the event fabric is
+      // store-and-forward after compute.
+      const double stage = fabric ? compute_c + tr.cycles
+                                  : std::max(compute_c, tr.cycles);
       stage_max = std::max(stage_max, stage);
-      cycles_serial += compute_c + transfer_c;
+      cycles_serial += compute_c + tr.cycles;
+      cycles_compute += compute_c;
+      cycles_transport += tr.cycles - tr.stall_cycles;
+      cycles_stall += tr.stall_cycles;
     }
 
     cycles_pipelined += stage_max;
   }
+
+  if (fabric) nstats = fabric->stats();
 
   // -- convert counters to energy ------------------------------------------
   e.neuron_pj +=
@@ -227,10 +267,24 @@ RunReport Executor::run(const snn::SpikeTrace& trace,
                static_cast<double>(ev.ccu_transfers) * d.ccu_transfer_pj +
                static_cast<double>(ev.sram_reads) * sram.read_energy_pj() +
                static_cast<double>(ev.sram_writes) * sram.write_energy_pj();
+  if (event_noc) {
+    // Hierarchical traversal energy the flat model folds into one hop:
+    // every H-tree level crossed, and every mesh switch beyond the first,
+    // costs one more flit traversal (docs/noc.md).
+    const std::size_t extra_mesh =
+        nstats.mesh.hops > nstats.mesh.words
+            ? nstats.mesh.hops - nstats.mesh.words
+            : 0;
+    e.comm_pj += static_cast<double>(nstats.tree.hops + extra_mesh) *
+                 d.switch_flit_pj;
+  }
 
   report.perf.clock_mhz = t.resparc_clock_mhz;
   report.perf.cycles_pipelined = cycles_pipelined;
   report.perf.cycles_serial = cycles_serial;
+  report.perf.cycles_compute = cycles_compute;
+  report.perf.cycles_transport = cycles_transport;
+  report.perf.cycles_stall = cycles_stall;
 
   // Leakage integrates over the steady-state (pipelined) latency: in
   // throughput mode the chip retires one classification per pipelined
@@ -262,6 +316,7 @@ RunReport Executor::run_all(std::span<const snn::SpikeTrace> traces,
     total.energy += r.energy;
     total.events += r.events;
     total.perf += r.perf;
+    total.noc += r.noc;
     total.classifications += r.classifications;
   }
   if (stream) *stream = std::move(merged);

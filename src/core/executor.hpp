@@ -9,30 +9,43 @@
 //     switch traversal;
 //   * all-zero words read from the input SRAM are not broadcast on the bus.
 //
-// Event counts are converted to energy with the technology cost tables and
-// to cycles with the pipeline model described in docs/execution.md.
+// Inter-stage transfers travel the hierarchical Ml-NoC model (src/noc/,
+// docs/noc.md) along the per-boundary Route table: `analytic` fidelity
+// charges the flat per-word cycles this executor has always used
+// (bit-for-bit reproducible totals), `event` fidelity drives real
+// ProgrammableSwitch FIFOs and adds hop pipeline-fill plus congestion
+// stall latency.  Event counts are converted to energy with the
+// technology cost tables and to cycles with the pipeline model described
+// in docs/execution.md.
 #pragma once
 
 #include "core/energy.hpp"
 #include "core/events.hpp"
 #include "core/mapper.hpp"
+#include "noc/fabric.hpp"
+#include "noc/route.hpp"
 #include "snn/topology.hpp"
 #include "snn/trace.hpp"
 
 namespace resparc::core {
 
-/// Cycles to move one word across the global bus: SRAM staging write plus
-/// a broadcast read (Fig. 7(b): serial transfer through the shared bus).
-/// Shared with compile::estimate_cost so the analytic ranking cannot drift
-/// from the measured pipeline model.
-inline constexpr double kBusCyclesPerWord = 2.0;
+/// Cycles to move one word across the global bus (the NoC layer owns the
+/// constant; this alias keeps the historical core:: spelling working).
+inline constexpr double kBusCyclesPerWord = noc::kBusCyclesPerWord;
 
 /// Executes spike traces against a fixed mapping.
 class Executor {
  public:
   /// `topology` must be the one `mapping` was built from; both must outlive
-  /// the executor.
+  /// the executor.  Routes are derived with noc::compute_routes and the
+  /// NoC runs in analytic fidelity.
   Executor(const snn::Topology& topology, const Mapping& mapping);
+
+  /// Same contract with an explicit route table (normally the compiler's
+  /// routing-pass output carried by the CompiledProgram) and NoC timing
+  /// fidelity.  The table must cover every boundary of `topology`.
+  Executor(const snn::Topology& topology, const Mapping& mapping,
+           noc::RouteTable routes, noc::Fidelity fidelity);
 
   /// Replays one presentation (trace from Simulator::run with
   /// record_trace=true) and returns the per-classification report.
@@ -46,7 +59,7 @@ class Executor {
   RunReport run(const snn::SpikeTrace& trace, EventStream* stream) const;
 
   /// Replays many presentations; energy/perf are averaged per
-  /// classification, events are summed.
+  /// classification, events and NoC counters are summed.
   RunReport run_all(std::span<const snn::SpikeTrace> traces) const;
 
   /// run_all with each presentation's event stream merged into `stream`
@@ -55,6 +68,12 @@ class Executor {
                     EventStream* stream) const;
 
   const Mapping& mapping() const { return mapping_; }
+
+  /// The per-boundary route table transfers travel on.
+  const noc::RouteTable& routes() const { return routes_; }
+
+  /// The NoC timing fidelity replays run at.
+  noc::Fidelity fidelity() const { return fidelity_; }
 
  private:
   /// Spikes inside an input slice, given the layer's input spike vector.
@@ -65,6 +84,8 @@ class Executor {
 
   const snn::Topology& topology_;
   const Mapping& mapping_;
+  noc::RouteTable routes_;
+  noc::Fidelity fidelity_ = noc::Fidelity::kAnalytic;
 };
 
 }  // namespace resparc::core

@@ -41,7 +41,8 @@ NeuroCellMetrics neurocell_metrics(const ResparcConfig& config) {
   return m;
 }
 
-ResparcChip::ResparcChip(ResparcConfig config) : config_(std::move(config)) {
+ResparcChip::ResparcChip(ResparcConfig config, noc::Fidelity fidelity)
+    : config_(std::move(config)), fidelity_(fidelity) {
   config_.validate();
 }
 
@@ -58,7 +59,14 @@ const Mapping& ResparcChip::load(const snn::Topology& topology,
   executor_.reset();  // drop the references into the old state first
   topology_ = topology;
   program_ = std::move(program);
-  executor_ = std::make_unique<Executor>(*topology_, program_->mapping);
+  // Legacy artifacts (or hand-built programs) may carry no route table;
+  // the routing pass is deterministic, so recomputing it here yields the
+  // same routes the compiler would have emitted.
+  noc::RouteTable routes = program_->routes.empty()
+                               ? noc::compute_routes(program_->mapping)
+                               : program_->routes;
+  executor_ = std::make_unique<Executor>(*topology_, program_->mapping,
+                                         std::move(routes), fidelity_);
   return program_->mapping;
 }
 

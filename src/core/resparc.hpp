@@ -47,9 +47,16 @@ NeuroCellMetrics neurocell_metrics(const ResparcConfig& config);
 /// A configured RESPARC chip that can host one network at a time.
 class ResparcChip {
  public:
-  explicit ResparcChip(ResparcConfig config);
+  /// `fidelity` selects the Ml-NoC timing model replays use: `analytic`
+  /// (default) reproduces the flat per-word charges bit-for-bit, `event`
+  /// adds switch-FIFO queueing and congestion stalls (docs/noc.md).
+  explicit ResparcChip(ResparcConfig config,
+                       noc::Fidelity fidelity = noc::Fidelity::kAnalytic);
 
   const ResparcConfig& config() const { return config_; }
+
+  /// The NoC timing fidelity this chip executes with.
+  noc::Fidelity fidelity() const { return fidelity_; }
 
   /// Compiles `topology` onto the fabric with the "paper" strategy
   /// (replacing any previous network) and returns the mapping for
@@ -87,6 +94,7 @@ class ResparcChip {
 
  private:
   ResparcConfig config_;
+  noc::Fidelity fidelity_ = noc::Fidelity::kAnalytic;
   std::optional<snn::Topology> topology_;
   std::optional<compile::CompiledProgram> program_;
   std::unique_ptr<Executor> executor_;

@@ -1,0 +1,93 @@
+// Routes through the hierarchical Ml-NoC (paper Fig. 6/7, docs/noc.md).
+//
+// A Route describes the path one layer-boundary transfer takes through
+// the multi-level fabric: within a NeuroCell it crosses the programmable
+// switch mesh; between NeuroCells it climbs an H-tree of switch levels to
+// the serial global bus at the root and descends to the destination
+// cells.  The compiler's routing pass (compile::Compiler) emits one Route
+// per boundary into the CompiledProgram, and both the analytic cost model
+// and the executor's NoC transport consume the same table — routing can
+// no longer drift between compile-time ranking and measured replay.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+
+namespace resparc::noc {
+
+/// Timing fidelity of the fabric model (docs/noc.md).
+enum class Fidelity {
+  kAnalytic,  ///< flat per-word cycle charges; reproduces the pre-NoC totals
+  kEvent,     ///< event-driven FIFO queues: adds hop fill + congestion stalls
+};
+
+/// "analytic" / "event" — the names BackendOptions::noc and bench output use.
+std::string to_string(Fidelity fidelity);
+
+/// Parses "analytic"/"event"; returns false for anything else.
+bool parse_fidelity(const std::string& text, Fidelity& out);
+
+/// The path of one layer-boundary transfer through the fabric.  Boundary b
+/// carries the spikes *into* layer b (b = 0 is the input broadcast from
+/// the SRAM); boundary layer_count() is the final-layer egress.
+struct Route {
+  std::size_t boundary = 0;      ///< boundary index (0 = input broadcast)
+  /// Source NeuroCell.  The input broadcast has no source cell (the SRAM
+  /// sits at the root), so boundary 0 mirrors the first destination cell
+  /// here; distinguish it by `boundary == 0`, not by this field.
+  std::size_t src_nc = 0;
+  std::size_t dst_nc_first = 0;  ///< first destination NeuroCell
+  std::size_t dst_nc_last = 0;   ///< last destination NeuroCell
+  /// True when the transfer leaves its NeuroCell: it must climb the
+  /// inter-cell hierarchy and cross the serial global bus at the root.
+  bool uses_bus = false;
+  /// Switch-mesh hops per word inside the (shared) NeuroCell; 0 for bus
+  /// routes.
+  std::size_t mesh_hops = 0;
+  /// H-tree switch levels traversed per word (ascent + descent around the
+  /// turning level); 0 for intra-cell routes.
+  std::size_t tree_hops = 0;
+  /// Height of the lowest common ancestor of the source and destination
+  /// subtrees (0 = same NeuroCell).  A transfer only climbs this far: it
+  /// contends for its LCA subtree's link, and only routes whose LCA is
+  /// the root serialize on the global bus (paper Fig. 7(a)'s multi-level
+  /// hierarchy).  Input broadcast and egress always turn at the root.
+  std::size_t lca_height = 0;
+  /// Source NeuroCells the transfer gathers from.  Each source cell
+  /// streams its share of the words up its own H-tree uplink in
+  /// parallel, so a layer spread across more cells injects faster —
+  /// the event model's gather (ascent) time is ceil(words / src_span).
+  std::size_t src_span = 1;
+
+  /// Destination NeuroCells covered (broadcast width on descent) —
+  /// derived from the stored destination range, not serialized state.
+  std::size_t fanout() const { return dst_nc_last - dst_nc_first + 1; }
+};
+
+/// Per-boundary route table of one compiled network: layer_count() + 1
+/// routes, indexed by boundary.
+struct RouteTable {
+  std::vector<Route> boundaries;  ///< boundary b's route at index b
+
+  /// True when no routes have been computed (legacy artifacts).
+  bool empty() const { return boundaries.empty(); }
+  /// Routes carried (layer boundaries + input broadcast + egress).
+  std::size_t size() const { return boundaries.size(); }
+  /// Route of boundary `b` (bounds-checked; throws ConfigError).
+  const Route& at(std::size_t b) const;
+};
+
+/// Depth of the balanced binary H-tree spanning `neurocells` cells
+/// (0 when the network fits one NeuroCell).
+std::size_t tree_depth(std::size_t neurocells);
+
+/// The routing pass: derives the per-boundary route table from a placed
+/// mapping.  Deterministic; `uses_bus` agrees with
+/// Mapping::boundary_uses_bus for every in-range boundary, so analytic
+/// costs are unchanged by construction.
+RouteTable compute_routes(const core::Mapping& mapping);
+
+}  // namespace resparc::noc

@@ -1,0 +1,61 @@
+// Per-level traffic counters of the hierarchical Ml-NoC (docs/noc.md).
+//
+// The fabric model resolves every transfer into the three hierarchy
+// levels of paper Fig. 7 — the switch mesh inside a NeuroCell, the
+// H-tree between NeuroCells, and the serial global bus at the root —
+// and counts words, hops, zero-check drops and congestion per level.
+// Kept include-free of the fabric so core::RunReport can embed the
+// counters without pulling the whole NoC model into every consumer.
+#pragma once
+
+#include <cstddef>
+
+namespace resparc::noc {
+
+/// Counters of one hierarchy level, summed over a run.
+struct LevelStats {
+  std::size_t words = 0;        ///< words that traversed this level
+  std::size_t hops = 0;         ///< word-hops (words x switches crossed)
+  std::size_t drops = 0;        ///< all-zero words dropped by the zero-check
+  double stall_cycles = 0.0;    ///< cycles waited on a busy resource (FIFO)
+  double busy_cycles = 0.0;     ///< cycles the level's bottleneck was occupied
+  std::size_t queue_peak = 0;   ///< high-water mark of the level's FIFOs
+
+  LevelStats& operator+=(const LevelStats& other) {
+    words += other.words;
+    hops += other.hops;
+    drops += other.drops;
+    stall_cycles += other.stall_cycles;
+    busy_cycles += other.busy_cycles;
+    queue_peak = other.queue_peak > queue_peak ? other.queue_peak : queue_peak;
+    return *this;
+  }
+};
+
+/// Whole-fabric roll-up: one LevelStats per hierarchy level.  Summed over
+/// a trace set (like core::EventCounts), never averaged.
+struct NocStats {
+  LevelStats mesh;  ///< intra-NeuroCell programmable-switch mesh
+  LevelStats tree;  ///< inter-NeuroCell H-tree switch levels
+  LevelStats bus;   ///< serial global bus + input SRAM staging at the root
+
+  /// Total word-hops across every level.
+  std::size_t total_hops() const { return mesh.hops + tree.hops + bus.hops; }
+  /// Total congestion stall cycles across every level.
+  double total_stall_cycles() const {
+    return mesh.stall_cycles + tree.stall_cycles + bus.stall_cycles;
+  }
+  /// Total zero-check drops across every level.
+  std::size_t total_drops() const {
+    return mesh.drops + tree.drops + bus.drops;
+  }
+
+  NocStats& operator+=(const NocStats& other) {
+    mesh += other.mesh;
+    tree += other.tree;
+    bus += other.bus;
+    return *this;
+  }
+};
+
+}  // namespace resparc::noc

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "noc/route.hpp"
 #include "snn/benchmarks.hpp"
 
 namespace resparc::core {
@@ -301,6 +302,58 @@ TEST(Mapper, MultiNcBoundariesUseBus) {
   const Mapping m = map_network(snn::mnist_mlp().topology, cfg(64));
   ASSERT_GT(m.total_neurocells, 1u);
   EXPECT_TRUE(m.boundary_uses_bus(1));
+}
+
+TEST(Mapper, InputBroadcastUsesBusEvenOnSingleNcNetworks) {
+  // l = 0 is the SRAM input broadcast: always a bus transfer, no matter
+  // how small the deployed fabric is.
+  Topology t("tiny", Shape3{1, 1, 32}, {LayerSpec::dense(10)});
+  const Mapping m = map_network(t, cfg(64));
+  EXPECT_EQ(m.total_neurocells, 1u);
+  EXPECT_TRUE(m.boundary_uses_bus(0));
+}
+
+TEST(Mapper, SingleNcEveryInternalBoundaryAvoidsBus) {
+  // Three layers inside one NeuroCell: every internal boundary stays on
+  // the switch mesh while l = 0 is still the bus.
+  Topology t("tiny3", Shape3{1, 1, 64},
+             {LayerSpec::dense(32), LayerSpec::dense(32),
+              LayerSpec::dense(10)});
+  const Mapping m = map_network(t, cfg(64));
+  ASSERT_EQ(m.total_neurocells, 1u);
+  EXPECT_TRUE(m.boundary_uses_bus(0));
+  for (std::size_t l = 1; l < m.layers.size(); ++l)
+    EXPECT_FALSE(m.boundary_uses_bus(l)) << "boundary " << l;
+}
+
+TEST(Mapper, FinalLayerEgressIsABusRouteInTheRouteTable) {
+  // boundary_uses_bus is only defined for l < layer_count (the transfer
+  // INTO layer l); the final-layer egress is the routing pass's extra
+  // boundary, and it always leaves on the bus — single-NC or not.
+  for (const auto& spec : {snn::mnist_mlp(), snn::mnist_cnn()}) {
+    const Mapping m = map_network(spec.topology, cfg(64));
+    const noc::RouteTable routes = noc::compute_routes(m);
+    ASSERT_EQ(routes.size(), spec.topology.layer_count() + 1);
+    EXPECT_TRUE(routes.at(spec.topology.layer_count()).uses_bus);
+  }
+  Topology tiny("tiny", Shape3{1, 1, 32}, {LayerSpec::dense(10)});
+  const Mapping single = map_network(tiny, cfg(64));
+  EXPECT_TRUE(noc::compute_routes(single).at(1).uses_bus);
+}
+
+TEST(Mapper, LayerSpanningBoundaryDecisionUsesEndpointCells) {
+  // A boundary avoids the bus only when BOTH layers sit entirely in one
+  // and the same NeuroCell; a source layer spilling across cells forces
+  // the bus even if the destination starts in the same cell.
+  const Mapping m = map_network(snn::cifar_mlp().topology, cfg(64));
+  for (std::size_t l = 1; l < m.layers.size(); ++l) {
+    const auto& src = m.layers[l - 1];
+    const auto& dst = m.layers[l];
+    const bool both_in_one_cell = src.first_nc == src.last_nc &&
+                                  dst.first_nc == dst.last_nc &&
+                                  src.last_nc == dst.first_nc;
+    EXPECT_EQ(m.boundary_uses_bus(l), !both_in_one_cell) << "boundary " << l;
+  }
 }
 
 TEST(Mapper, UtilizationNeverExceedsOne) {

@@ -33,6 +33,10 @@ ROW_FIELDS = {
     "bench_sparse_execution": ["rate", "input_sparsity", "mean_activity",
                                "dense_tps", "sparse_tps", "speedup"],
     "micro_kernels": ["items", "naive_ms", "kernel_ms", "speedup"],
+    "bench_noc_contention": ["mca", "neurocells", "bus_boundaries",
+                             "analytic_latency_ns", "event_latency_ns",
+                             "event_serial_ns", "inflation", "stall_cycles",
+                             "tree_hops", "mesh_hops", "bus_words"],
 }
 
 # The conv-forward kernel's acceptance floor.  The committed snapshot
@@ -114,6 +118,35 @@ def validate_sparse_semantics(results, path, errors):
              "no row with input_sparsity >= 0.9 reaches a 2x speedup")
 
 
+def validate_noc_contention_semantics(results, path, errors):
+    """The Ml-NoC acceptance properties (docs/noc.md): event fidelity only
+    adds latency over analytic, congestion is present, and its magnitude
+    separates the MCA configurations (latencies and hop counts are
+    cycle-model outputs — deterministic, so no jitter slack is needed)."""
+    needed = ("mca", "analytic_latency_ns", "event_latency_ns",
+              "stall_cycles")
+    rows = [r for r in results
+            if isinstance(r, dict) and all(k in r for k in needed)]
+    if len(rows) != len(results):
+        return  # field errors were already reported by validate_rows
+    for row in rows:
+        if row["event_latency_ns"] < row["analytic_latency_ns"]:
+            fail(errors, path,
+                 f"MCA-{row['mca']}: event latency "
+                 f"{row['event_latency_ns']} below analytic "
+                 f"{row['analytic_latency_ns']}")
+    if not any(r["stall_cycles"] > 0 for r in rows):
+        fail(errors, path, "no row shows congestion (stall_cycles == 0)")
+        return
+    # Separation over ALL rows: a zero-stall config next to stalled ones
+    # is maximal separation, not a failure.
+    stalls = sorted(r["stall_cycles"] for r in rows)
+    if len(stalls) >= 2 and stalls[-1] < 1.02 * stalls[0]:
+        fail(errors, path,
+             "stall_cycles do not separate the MCA configurations "
+             f"(min {stalls[0]}, max {stalls[-1]})")
+
+
 def validate_micro_kernel_semantics(results, path, errors):
     rows = [r for r in results if isinstance(r, dict)]
     conv = [r for r in rows if r.get("kernel") == "conv_forward"]
@@ -144,6 +177,8 @@ def validate_file(path, errors):
         validate_sparse_semantics(results, path, errors)
     if doc["bench"] == "micro_kernels":
         validate_micro_kernel_semantics(results, path, errors)
+    if doc["bench"] == "bench_noc_contention":
+        validate_noc_contention_semantics(results, path, errors)
 
 
 def main(argv):
