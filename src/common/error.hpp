@@ -2,48 +2,69 @@
 //
 // The library reports contract violations (bad configurations, impossible
 // mappings) with exceptions derived from resparc::Error so callers can
-// distinguish library failures from std:: failures.
+// distinguish library failures from std:: failures.  An Error optionally
+// carries a stable machine-readable code (e.g. the verifier's
+// "RV-BLOB-TRAILING", docs/verification.md) so tests and tooling can
+// assert on the *kind* of failure instead of matching message substrings.
 #pragma once
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace resparc {
 
 /// Base class of every exception thrown by this library.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, std::string code = {})
+      : std::runtime_error(what), code_(std::move(code)) {}
+
+  /// Stable machine-readable code ("" when the site predates codes).
+  /// Codes follow the diagnostic catalog in docs/verification.md.
+  const std::string& code() const noexcept { return code_; }
+
+ private:
+  std::string code_;
 };
 
 /// Thrown when a configuration value is out of its documented domain
 /// (e.g. a crossbar with zero rows, a negative supply voltage).
 class ConfigError : public Error {
  public:
-  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+  explicit ConfigError(const std::string& what, std::string code = {})
+      : Error("config error: " + what, std::move(code)) {}
 };
 
 /// Thrown when a network cannot be placed onto the requested fabric
 /// (e.g. a layer wider than the whole chip with spill disabled).
 class MappingError : public Error {
  public:
-  explicit MappingError(const std::string& what) : Error("mapping error: " + what) {}
+  explicit MappingError(const std::string& what, std::string code = {})
+      : Error("mapping error: " + what, std::move(code)) {}
 };
 
 /// Thrown on dimension mismatches between tensors/layers/traces.
 class ShapeError : public Error {
  public:
-  explicit ShapeError(const std::string& what) : Error("shape error: " + what) {}
+  explicit ShapeError(const std::string& what, std::string code = {})
+      : Error("shape error: " + what, std::move(code)) {}
 };
 
 namespace detail {
-[[noreturn]] inline void throw_config(const std::string& what) { throw ConfigError(what); }
+[[noreturn]] inline void throw_config(const std::string& what,
+                                      std::string code = {}) {
+  throw ConfigError(what, std::move(code));
+}
 }  // namespace detail
 
 /// Validates a configuration precondition; throws ConfigError on failure.
 /// Used at public API boundaries (I.5/I.6: state and check preconditions).
-inline void require(bool cond, const std::string& what) {
-  if (!cond) detail::throw_config(what);
+/// `code` (optional) becomes Error::code() so callers can assert on the
+/// failure kind rather than the message text.
+inline void require(bool cond, const std::string& what,
+                    std::string code = {}) {
+  if (!cond) detail::throw_config(what, std::move(code));
 }
 
 /// Literal-message overload: defers the std::string construction to the
@@ -53,6 +74,12 @@ inline void require(bool cond, const std::string& what) {
 /// on every successful check).
 inline void require(bool cond, const char* what) {
   if (!cond) detail::throw_config(what);
+}
+
+/// Literal-message + code overload: same zero-allocation success path,
+/// but the thrown ConfigError carries a machine-readable code.
+inline void require(bool cond, const char* what, const char* code) {
+  if (!cond) detail::throw_config(what, code);
 }
 
 }  // namespace resparc

@@ -7,11 +7,12 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_safety.hpp"
 
 namespace resparc {
 
@@ -20,26 +21,26 @@ class NamedRegistry {
  public:
   /// Registers (or replaces) the factory under `name`.
   void set(const std::string& name, Factory factory) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     factories_[name] = std::move(factory);
   }
 
   /// The factory registered under `name`, or nullopt.
   std::optional<Factory> find(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = factories_.find(name);
     if (it == factories_.end()) return std::nullopt;
     return it->second;
   }
 
   bool contains(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return factories_.count(name) > 0;
   }
 
   /// Sorted names of every registered factory.
   std::vector<std::string> names() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(factories_.size());
     for (const auto& [key, unused] : factories_) out.push_back(key);
@@ -47,8 +48,8 @@ class NamedRegistry {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Factory> factories_;
+  mutable Mutex mutex_;
+  std::map<std::string, Factory> factories_ RESPARC_GUARDED_BY(mutex_);
 };
 
 /// "a, b, c" — for exception messages listing registered names.

@@ -5,7 +5,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
+
+#include "common/thread_safety.hpp"
 
 namespace resparc {
 
@@ -17,28 +18,40 @@ thread_local bool t_inside_pool_job = false;
 }  // namespace
 
 struct ThreadPool::Impl {
-  std::mutex mutex;                 ///< guards job publication + working
+  Mutex mutex;                      ///< guards job publication + working
   std::condition_variable cv_work;  ///< workers park here between jobs
   std::condition_variable cv_done;  ///< caller waits for completion here
-  bool stop = false;                ///< set once, in the destructor
+  bool stop RESPARC_GUARDED_BY(mutex) = false;  ///< set once, in the dtor
 
   // --- the currently published job --------------------------------------
-  std::uint64_t generation = 0;     ///< bumped per job, under `mutex`
-  std::size_t count = 0;            ///< items in the job
-  std::size_t chunk = 1;            ///< indices claimed per grab
-  std::size_t worker_cap = 0;       ///< pool workers allowed to join
-  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  // The scalar job fields are written under `mutex` before the generation
+  // bump publishes them; workers read them lock-free inside work() after
+  // observing the new generation under the mutex (see work()'s analysis
+  // opt-out below).
+  std::uint64_t generation RESPARC_GUARDED_BY(mutex) = 0;  ///< bumped per job
+  std::size_t count RESPARC_GUARDED_BY(mutex) = 0;     ///< items in the job
+  std::size_t chunk RESPARC_GUARDED_BY(mutex) = 1;     ///< indices per grab
+  std::size_t worker_cap RESPARC_GUARDED_BY(mutex) = 0;  ///< workers allowed
+  const std::function<void(std::size_t, std::size_t)>* fn
+      RESPARC_GUARDED_BY(mutex) = nullptr;
   std::atomic<std::size_t> next{0};       ///< claim cursor
   std::atomic<std::size_t> joined{0};     ///< pool workers that took a slot
   std::atomic<bool> cancelled{false};     ///< first exception stops claims
-  std::size_t working = 0;                ///< workers inside the job (mutex)
-  std::exception_ptr error;               ///< first exception (under mutex)
+  std::size_t working RESPARC_GUARDED_BY(mutex) = 0;  ///< workers in the job
+  std::exception_ptr error RESPARC_GUARDED_BY(mutex);  ///< first exception
 
   /// Claims chunks and runs items until the job is drained or cancelled.
   /// `fn` is dereferenced only after a successful claim, so a worker
   /// arriving after teardown (the cursor is parked at `count`) never
   /// touches a dead job.
-  void work(std::size_t worker_id) {
+  ///
+  /// Analysis opt-out: `fn`/`count`/`chunk` are read without the mutex.
+  /// They are immutable for the lifetime of one generation and were
+  /// published under the mutex before the participating worker observed
+  /// that generation (worker_loop) or before the first claim (the
+  /// caller), so the reads are ordered by the mutex even though no lock
+  /// is held here — a protocol the static analysis cannot express.
+  void work(std::size_t worker_id) RESPARC_NO_THREAD_SAFETY_ANALYSIS {
     for (;;) {
       if (cancelled.load(std::memory_order_relaxed)) return;
       const std::size_t begin =
@@ -52,7 +65,7 @@ struct ThreadPool::Impl {
         try {
           call(i, worker_id);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(mutex);
+          MutexLock lock(mutex);
           if (!error) error = std::current_exception();
           cancelled.store(true, std::memory_order_relaxed);
           // Park the cursor so no further chunk can be claimed — after
@@ -72,18 +85,19 @@ struct ThreadPool::Impl {
   void worker_loop() {
     std::uint64_t seen = 0;
     for (;;) {
-      std::unique_lock<std::mutex> lock(mutex);
-      cv_work.wait(lock, [&] { return stop || generation != seen; });
+      MutexLock lock(mutex);
+      while (!stop && generation == seen) cv_work.wait(lock.native());
       if (stop) return;
       seen = generation;
       if (fn == nullptr) continue;  // woke after the job already ended
       ++working;
+      const std::size_t cap = worker_cap;
       lock.unlock();
 
       // Participation slots are first-come; workers beyond the cap (or a
       // drained cursor) fall straight through.
       const std::size_t slot = joined.fetch_add(1, std::memory_order_relaxed);
-      if (slot < worker_cap) {
+      if (slot < cap) {
         t_inside_pool_job = true;
         work(slot + 1);  // the caller is worker 0
         t_inside_pool_job = false;
@@ -107,7 +121,7 @@ ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->stop = true;
   }
   impl_->cv_work.notify_all();
@@ -127,10 +141,10 @@ void ThreadPool::run_indexed(
   }
 
   Impl& im = *impl_;
-  std::unique_lock<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   // One job at a time: a later caller waits for the previous job's
   // teardown (publication happens under the same mutex).
-  im.cv_done.wait(lock, [&] { return im.fn == nullptr; });
+  while (im.fn != nullptr) im.cv_done.wait(lock.native());
 
   const std::size_t active = std::min(max_workers, width());
   im.count = count;
@@ -145,12 +159,12 @@ void ThreadPool::run_indexed(
   im.cancelled.store(false, std::memory_order_relaxed);
   im.error = nullptr;
   ++im.generation;
+  const std::size_t wake = std::min(im.worker_cap, workers_.size());
   lock.unlock();
   // Wake only as many workers as the job can use — a small capped job on
   // a wide pool must not stampede every parked thread (the within-trace
   // path publishes one job per layer per timestep).
-  for (std::size_t t = 0; t < im.worker_cap && t < workers_.size(); ++t)
-    im.cv_work.notify_one();
+  for (std::size_t t = 0; t < wake; ++t) im.cv_work.notify_one();
 
   t_inside_pool_job = true;
   im.work(0);
@@ -162,7 +176,7 @@ void ThreadPool::run_indexed(
   // that did join.  Only they were ever counted — an idle pool thread
   // that never woke for this generation owes nothing.
   im.next.store(im.count, std::memory_order_relaxed);
-  im.cv_done.wait(lock, [&] { return im.working == 0; });
+  while (im.working != 0) im.cv_done.wait(lock.native());
   im.fn = nullptr;
   std::exception_ptr error = im.error;
   im.error = nullptr;

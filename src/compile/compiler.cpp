@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "compile/cost_model.hpp"
+#include "verify/verifier.hpp"
 
 namespace resparc::compile {
 
@@ -67,6 +68,17 @@ CompiledProgram Compiler::run_passes(const snn::Topology& topology,
   program.cost = estimate_cost(topology, program.mapping, program.routes,
                                options_.activity);
   program.report = utilization_report(topology, program.mapping);
+
+  // -- verify ----------------------------------------------------------------
+  // Mandatory post-pass: the emitted program must satisfy every invariant
+  // the earlier passes claim to establish (docs/verification.md).  This
+  // is the strategy-independent contract — a buggy or adversarial
+  // MappingStrategy cannot emit a program that overflows an MCA, skips a
+  // boundary route, or reports stale cost totals.
+  verify::VerifyOptions vo;
+  vo.topology = &topology;
+  verify::verify_program(program, vo)
+      .raise_if_errors("compile(" + strategy.name() + ")");
   return program;
 }
 

@@ -9,6 +9,10 @@
 //   place           strategy: assign MCAs to mPEs and NeuroCells
 //   route-estimate  count serial-bus boundaries and score the candidate
 //                   with the analytic cost model (cost_model.hpp)
+//   verify          mandatory static verification (src/verify): the
+//                   emitted program is rejected with verify::VerifyError
+//                   when any structural/capacity/consistency invariant
+//                   is violated (docs/verification.md)
 //
 // and emits a CompiledProgram — a serializable artifact that
 // ResparcChip/api::ResparcBackend load directly:
@@ -48,7 +52,9 @@ class Compiler {
 
   /// Runs the pass pipeline with the named strategy ("auto" selects the
   /// best-scoring registered strategy).  Throws CompileError for unknown
-  /// strategies and MappingError when the topology cannot be lowered.
+  /// strategies, MappingError when the topology cannot be lowered, and
+  /// verify::VerifyError when the strategy emits a program that fails
+  /// the mandatory static verification post-pass.
   CompiledProgram compile(const snn::Topology& topology,
                           const std::string& strategy = "paper") const;
 

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <ios>
 
+#include "verify/verifier.hpp"
+
 namespace resparc::compile {
 
 namespace {
@@ -27,19 +29,25 @@ std::string token(const std::string& s) {
   return out;
 }
 
+/// Stable diagnostic code of every "the stream is not a well-formed v2
+/// blob" failure (docs/verification.md).
+constexpr const char* kMalformed = "RV-BLOB-MALFORMED";
+
 /// Reads one whitespace-delimited token and checks it against `expect`.
 void expect_token(std::istream& is, const char* expect) {
   std::string tok;
   if (!(is >> tok) || tok != expect)
     throw CompileError("expected \"" + std::string(expect) + "\", got \"" +
-                       tok + "\"");
+                           tok + "\"",
+                       kMalformed);
 }
 
 template <typename T>
 T read_value(std::istream& is, const char* field) {
   T v{};
   if (!(is >> v))
-    throw CompileError("malformed field \"" + std::string(field) + "\"");
+    throw CompileError("malformed field \"" + std::string(field) + "\"",
+                       kMalformed);
   return v;
 }
 
@@ -49,7 +57,8 @@ std::size_t read_count(std::istream& is, const char* field, std::size_t max) {
   const auto v = read_value<std::size_t>(is, field);
   if (v > max)
     throw CompileError("implausible count " + std::to_string(v) +
-                       " in field \"" + std::string(field) + "\"");
+                           " in field \"" + std::string(field) + "\"",
+                       kMalformed);
   return v;
 }
 
@@ -65,12 +74,14 @@ double read_double(std::istream& is, const char* field) {
   // hexfloats are parsed via strtod from a token.
   std::string tok;
   if (!(is >> tok))
-    throw CompileError("malformed field \"" + std::string(field) + "\"");
+    throw CompileError("malformed field \"" + std::string(field) + "\"",
+                       kMalformed);
   char* end = nullptr;
   const double v = std::strtod(tok.c_str(), &end);
   if (end == nullptr || *end != '\0')
     throw CompileError("malformed double \"" + tok + "\" in field \"" +
-                       std::string(field) + "\"");
+                           std::string(field) + "\"",
+                       kMalformed);
   return v;
 }
 
@@ -161,8 +172,8 @@ bool CompiledProgram::save_file(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
-CompiledProgram CompiledProgram::load(std::istream& is,
-                                      const core::ResparcConfig& config) {
+CompiledProgram CompiledProgram::parse(std::istream& is,
+                                       const core::ResparcConfig& config) {
   CompiledProgram p;
 
   expect_token(is, kMagic);
@@ -174,7 +185,8 @@ CompiledProgram CompiledProgram::load(std::istream& is,
   std::string expected_version("v");
   expected_version += std::to_string(kVersion);
   if (!(is >> version) || version != expected_version)
-    throw CompileError("unsupported program version \"" + version + "\"");
+    throw CompileError("unsupported program version \"" + version + "\"",
+                       "RV-BLOB-VERSION");
 
   expect_token(is, "strategy");
   p.strategy = read_value<std::string>(is, "strategy");
@@ -187,8 +199,9 @@ CompiledProgram CompiledProgram::load(std::istream& is,
     throw CompileError(
         "config fingerprint mismatch: program was compiled for a different "
         "configuration (recorded " +
-        std::to_string(p.config_fingerprint) + ", current " +
-        std::to_string(config.fingerprint()) + ")");
+            std::to_string(p.config_fingerprint) + ", current " +
+            std::to_string(config.fingerprint()) + ")",
+        "RV-CONS-FINGERPRINT");
 
   expect_token(is, "cost");
   p.cost.energy_pj_per_step = read_double(is, "cost.energy");
@@ -232,7 +245,8 @@ CompiledProgram CompiledProgram::load(std::istream& is,
       core::McaGroup mg;
       const int kind = read_value<int>(is, "slice kind");
       if (kind != 0 && kind != 1)
-        throw CompileError("invalid slice kind " + std::to_string(kind));
+        throw CompileError("invalid slice kind " + std::to_string(kind),
+                           kMalformed);
       mg.slice.kind = static_cast<core::SliceKind>(kind);
       mg.slice.begin = read_value<std::size_t>(is, "slice begin");
       mg.slice.end = read_value<std::size_t>(is, "slice end");
@@ -261,7 +275,8 @@ CompiledProgram CompiledProgram::load(std::istream& is,
     route.dst_nc_last = read_value<std::size_t>(is, "route dst_nc_last");
     const int bus = read_value<int>(is, "route uses_bus");
     if (bus != 0 && bus != 1)
-      throw CompileError("invalid route uses_bus " + std::to_string(bus));
+      throw CompileError("invalid route uses_bus " + std::to_string(bus),
+                         kMalformed);
     route.uses_bus = bus == 1;
     route.mesh_hops = read_value<std::size_t>(is, "route mesh_hops");
     route.tree_hops = read_value<std::size_t>(is, "route tree_hops");
@@ -285,6 +300,24 @@ CompiledProgram CompiledProgram::load(std::istream& is,
     p.report.push_back(std::move(u));
   }
 
+  // The payload ends here: anything beyond whitespace is rejected, so a
+  // blob with a second program (or garbage) appended cannot load as if
+  // it were intact.
+  is >> std::ws;
+  if (is.peek() != std::istream::traits_type::eof())
+    throw CompileError("trailing bytes after program payload",
+                       "RV-BLOB-TRAILING");
+
+  return p;
+}
+
+CompiledProgram CompiledProgram::load(std::istream& is,
+                                      const core::ResparcConfig& config) {
+  CompiledProgram p = parse(is, config);
+  // Mandatory static verification: a deserialized program is checked
+  // against every structural/capacity/consistency invariant before any
+  // caller can execute on it (docs/verification.md).
+  verify::verify_program(p).raise_if_errors("loaded program");
   return p;
 }
 

@@ -34,9 +34,10 @@ namespace resparc::compile {
 /// configuration it is being loaded against.
 class CompileError : public Error {
  public:
-  /// Wraps `what` with the "compile error:" prefix.
-  explicit CompileError(const std::string& what)
-      : Error("compile error: " + what) {}
+  /// Wraps `what` with the "compile error:" prefix; `code` (optional) is
+  /// the machine-readable diagnostic code (docs/verification.md).
+  explicit CompileError(const std::string& what, std::string code = {})
+      : Error("compile error: " + what, std::move(code)) {}
 };
 
 /// One row of the per-layer utilisation report.
@@ -84,9 +85,19 @@ struct CompiledProgram {
   /// opened or written.
   bool save_file(const std::string& path) const;
 
-  /// Parses a program and binds it to `config`: throws CompileError when
-  /// the stream is malformed or config.fingerprint() does not equal the
-  /// recorded fingerprint.  On success mapping.config == config.
+  /// Parses a program and binds it to `config` WITHOUT running the
+  /// static verifier: throws CompileError (with a diagnostic code, see
+  /// docs/verification.md) when the stream is malformed, carries
+  /// trailing bytes after the payload, or config.fingerprint() does not
+  /// equal the recorded fingerprint.  On success mapping.config ==
+  /// config.  Most callers want load(); the verify layer uses parse()
+  /// to collect *all* findings instead of throwing on the first.
+  static CompiledProgram parse(std::istream& is,
+                               const core::ResparcConfig& config);
+  /// parse() plus the mandatory static verification pass
+  /// (verify::verify_program): throws verify::VerifyError when the
+  /// parsed program violates any structural/capacity/consistency
+  /// invariant — a deserialized blob is never trusted unchecked.
   static CompiledProgram load(std::istream& is,
                               const core::ResparcConfig& config);
   /// load() from a file; throws CompileError when it cannot be opened.

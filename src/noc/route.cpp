@@ -37,17 +37,11 @@ std::size_t tree_depth(std::size_t neurocells) {
   return depth;
 }
 
-namespace {
-
-/// Height of the lowest common ancestor of leaves `a` and `b` in the
-/// balanced binary H-tree (0 when a == b).
 std::size_t lca_height_of(std::size_t a, std::size_t b) {
   std::size_t h = 0;
   while ((a >> h) != (b >> h)) ++h;
   return h;
 }
-
-}  // namespace
 
 RouteTable compute_routes(const core::Mapping& mapping) {
   const std::size_t layers = mapping.layers.size();

@@ -84,6 +84,12 @@ struct RouteTable {
 /// (0 when the network fits one NeuroCell).
 std::size_t tree_depth(std::size_t neurocells);
 
+/// Height of the lowest common ancestor of leaves `a` and `b` in the
+/// balanced binary H-tree (0 when a == b).  Exposed so the static
+/// verifier (src/verify) recomputes route heights with the exact
+/// definition the routing pass used.
+std::size_t lca_height_of(std::size_t a, std::size_t b);
+
 /// The routing pass: derives the per-boundary route table from a placed
 /// mapping.  Deterministic; `uses_bus` agrees with
 /// Mapping::boundary_uses_bus for every in-range boundary, so analytic

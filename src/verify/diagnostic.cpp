@@ -1,0 +1,119 @@
+#include "verify/diagnostic.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace resparc::verify {
+
+std::string to_string(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = verify::to_string(severity);
+  out += " ";
+  out += code;
+  out += " at ";
+  out += location;
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void VerifyReport::add(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::kError) ++errors_;
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void VerifyReport::error(std::string code, std::string location,
+                         std::string message) {
+  add(Diagnostic{std::move(code), Severity::kError, std::move(location),
+                 std::move(message)});
+}
+
+void VerifyReport::warning(std::string code, std::string location,
+                           std::string message) {
+  add(Diagnostic{std::move(code), Severity::kWarning, std::move(location),
+                 std::move(message)});
+}
+
+bool VerifyReport::has(const std::string& code) const {
+  for (const Diagnostic& d : diagnostics_)
+    if (d.code == code) return true;
+  return false;
+}
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) os << d.to_string() << "\n";
+  os << (ok() ? "OK" : "FAIL") << ": " << error_count() << " error(s), "
+     << warning_count() << " warning(s)\n";
+  return os.str();
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string VerifyReport::to_json() const {
+  std::string out = "{\"ok\":";
+  out += ok() ? "true" : "false";
+  out += ",\"errors\":" + std::to_string(error_count());
+  out += ",\"warnings\":" + std::to_string(warning_count());
+  out += ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"code\":";
+    append_json_string(out, d.code);
+    out += ",\"severity\":";
+    append_json_string(out, verify::to_string(d.severity));
+    out += ",\"location\":";
+    append_json_string(out, d.location);
+    out += ",\"message\":";
+    append_json_string(out, d.message);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void VerifyReport::raise_if_errors(const std::string& context) const {
+  if (ok()) return;
+  std::string code;
+  std::string what = context + ": " + std::to_string(error_count()) +
+                     " verification error(s):";
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity != Severity::kError) continue;
+    if (code.empty()) code = d.code;
+    what += "\n  " + d.to_string();
+  }
+  throw VerifyError(what, std::move(code));
+}
+
+}  // namespace resparc::verify

@@ -1,0 +1,88 @@
+// Structured findings of the static program verifier (docs/verification.md).
+//
+// Every check in src/verify reports through a Diagnostic — a stable
+// machine-readable code ("RV-..."), a severity, the program location the
+// finding anchors to ("layer 3", "boundary 2 route") and a human message.
+// A VerifyReport collects the findings of one verification run; callers
+// either inspect it (tools/resparc-verify pretty-prints or JSON-dumps it)
+// or call raise_if_errors() to turn Error-severity findings into a thrown
+// VerifyError whose code() is the first error's diagnostic code — the
+// contract tests assert on codes, never on message substrings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace resparc::verify {
+
+/// How bad a finding is.  Errors make a program unloadable/unemittable;
+/// warnings flag suspicious-but-legal shapes (e.g. a transfer burst
+/// deeper than the switch FIFOs).
+enum class Severity {
+  kWarning,  ///< legal but suspicious; never blocks a program
+  kError,    ///< invariant violation; compiler/loader refuse the program
+};
+
+/// "warning" / "error".
+std::string to_string(Severity severity);
+
+/// One finding of the verifier.
+struct Diagnostic {
+  std::string code;      ///< stable catalog code (docs/verification.md)
+  Severity severity = Severity::kError;  ///< how bad the finding is
+  std::string location;  ///< where in the program ("layer 3", "boundary 0")
+  std::string message;   ///< human-readable explanation
+
+  /// "error RV-XXX at <location>: <message>" — one line, no trailing \n.
+  std::string to_string() const;
+};
+
+/// Thrown by VerifyReport::raise_if_errors(); code() is the diagnostic
+/// code of the first Error-severity finding.
+class VerifyError : public Error {
+ public:
+  VerifyError(const std::string& what, std::string code)
+      : Error("verify error: " + what, std::move(code)) {}
+};
+
+/// The collected findings of one verification run.
+class VerifyReport {
+ public:
+  /// Records a finding.
+  void add(Diagnostic diagnostic);
+  /// Shorthand: records an Error-severity finding.
+  void error(std::string code, std::string location, std::string message);
+  /// Shorthand: records a Warning-severity finding.
+  void warning(std::string code, std::string location, std::string message);
+
+  /// Every finding, in emission order (passes run in a fixed order, so
+  /// the order is deterministic).
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  /// Error-severity findings recorded so far.
+  std::size_t error_count() const { return errors_; }
+  /// Warning-severity findings recorded so far.
+  std::size_t warning_count() const { return diagnostics_.size() - errors_; }
+  /// True when no Error-severity finding was recorded (warnings allowed).
+  bool ok() const { return errors_ == 0; }
+  /// True when any finding carries `code` (test helper).
+  bool has(const std::string& code) const;
+
+  /// Human-readable dump: one line per finding plus a summary line.
+  std::string to_string() const;
+  /// JSON dump: {"ok":bool,"errors":N,"warnings":N,"diagnostics":[...]}.
+  std::string to_json() const;
+
+  /// Throws VerifyError when the report holds any Error-severity finding;
+  /// the exception's code() is the first error's code and the message
+  /// lists every error (prefixed with `context`).
+  void raise_if_errors(const std::string& context) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace resparc::verify

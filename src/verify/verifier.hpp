@@ -1,0 +1,85 @@
+// Pass-based static verifier over Mapping + CompiledProgram.
+//
+// The compiler's passes (legalize→tile→place→route→cost) are supposed to
+// establish a set of invariants — every layer tiled and placed, every
+// boundary routed, capacities respected, the analytic cost totals derived
+// from the route table actually emitted.  Nothing used to check them
+// independently: correctness rested on the passes being bug-free.  This
+// verifier re-derives the invariants from first principles, *without
+// executing anything*, and reports violations as structured Diagnostics
+// (docs/verification.md catalogs the codes):
+//
+//   structure    every layer tiled/placed, route table covers every
+//                boundary, route endpoints inside placed cells
+//   routing      H-tree internals (lca_height / tree_hops / mesh_hops)
+//                re-derived from the placement; src_span/fanout bounded
+//   capacity     per-MCA synapse count <= N^2, per-mPE/NeuroCell
+//                occupancy, switch FIFO burst depth (warning)
+//   consistency  synapse/MCA sums, utilisation ratios, cost-model totals
+//                re-derivable from the route table, fingerprint matches
+//                the bound configuration
+//   topology     (only when a Topology is supplied) per-layer synapse
+//                conservation against the network the program claims
+//
+// It is strategy-independent by design: any future MappingStrategy (ILP,
+// simulated annealing, beam search — ROADMAP item 1) must produce
+// programs this verifier accepts.  compile::Compiler runs it as a
+// mandatory post-pass, CompiledProgram::load runs it on every
+// deserialized blob, and tools/resparc-verify lints blobs from disk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compile/program.hpp"
+#include "core/config.hpp"
+#include "snn/topology.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace resparc::verify {
+
+/// Knobs of one verification run.
+struct VerifyOptions {
+  /// When set, topology-dependent checks run too (synapse conservation,
+  /// cost-model re-derivation, FIFO burst estimates).  The blob-lint
+  /// path (resparc-verify) has no topology and runs without them.
+  const snn::Topology* topology = nullptr;
+  /// Relative tolerance for re-derived floating-point quantities
+  /// (utilisation ratios, cost-model energy/cycles).  Stored values are
+  /// hexfloat round-tripped, so in-process re-derivation is exact; the
+  /// tolerance absorbs cross-platform libm differences only.
+  double tolerance = 1e-9;
+};
+
+/// One named verification pass (runs all its checks, never throws).
+struct VerifyPass {
+  std::string name;  ///< "structure" / "routing" / "capacity" / ...
+  void (*run)(const compile::CompiledProgram&, const VerifyOptions&,
+              VerifyReport&);
+};
+
+/// The fixed pass pipeline, in execution order.  Exposed so tools can
+/// list passes and tests can run one pass in isolation.
+const std::vector<VerifyPass>& verify_passes();
+
+/// Runs every pass over `program` and returns the collected findings.
+/// Never throws on findings — inspect the report or raise_if_errors().
+VerifyReport verify_program(const compile::CompiledProgram& program,
+                            const VerifyOptions& options = {});
+
+/// Lints a serialized program: parses `bytes` bound to `config`
+/// (malformed blobs and fingerprint mismatches become diagnostics, not
+/// exceptions), runs verify_program on the result, and checks the blob
+/// round-trips bit-exactly with no trailing bytes.
+VerifyReport verify_blob(const std::string& bytes,
+                         const core::ResparcConfig& config);
+
+/// Config-free blob lint: recovers the recorded fingerprint from the
+/// blob and tries the standard configurations (default plus the MCA
+/// 32/64/128/256 sweep).  When none matches, the report carries a
+/// RV-CONS-FINGERPRINT error.  `mca_hint` (non-zero) pins the sweep to
+/// config_with_mca(mca_hint).
+VerifyReport verify_blob_auto(const std::string& bytes,
+                              std::size_t mca_hint = 0);
+
+}  // namespace resparc::verify

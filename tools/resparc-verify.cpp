@@ -1,0 +1,75 @@
+// resparc-verify: lints a serialized CompiledProgram blob from disk.
+//
+// Runs the full static verification pipeline (src/verify,
+// docs/verification.md) over a .rcp blob without executing anything:
+// parse, structural/capacity/consistency passes, and a bit-exact
+// round-trip check.  The binding configuration is recovered from the
+// blob's fingerprint (standard MCA 32/64/128/256 sweep) or pinned with
+// --mca.
+//
+//   resparc-verify mnist.rcp            pretty-print the report
+//   resparc-verify --json mnist.rcp     machine-readable JSON report
+//   resparc-verify --mca 128 mnist.rcp  pin the configuration
+//
+// Exit status: 0 when the blob verifies clean (warnings allowed),
+// 1 when any Error-severity diagnostic fired, 2 on usage/IO problems.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "verify/verifier.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--json] [--mca N] program.rcp\n"
+            << "  --json   emit the report as JSON instead of text\n"
+            << "  --mca N  bind to config_with_mca(N) instead of sweeping\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::size_t mca = 0;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--mca") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      mca = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (mca == 0) return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "resparc-verify: cannot open \"" << path << "\"\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const resparc::verify::VerifyReport report =
+      resparc::verify::verify_blob_auto(buffer.str(), mca);
+
+  if (json)
+    std::cout << report.to_json() << "\n";
+  else
+    std::cout << path << ":\n" << report.to_string();
+
+  return report.ok() ? 0 : 1;
+}
