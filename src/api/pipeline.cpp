@@ -316,11 +316,27 @@ ExecutionReport Pipeline::execute(const Accelerator& accelerator,
   require(accelerator.loaded(), "pipeline: accelerator has no network loaded");
   if (resolve_threads(threads, traces.size()) <= 1)
     return accelerator.execute(traces);
-  std::vector<ExecutionReport> parts(traces.size());
-  parallel_for(traces.size(), threads, [&](std::size_t i) {
-    parts[i] = accelerator.execute(traces[i]);
-  });
+  std::vector<ExecutionReport> parts;
+  execute_each(accelerator, traces, parts, threads);
   return merge_reports(parts);
+}
+
+void Pipeline::execute_each(const Accelerator& accelerator,
+                            std::span<const snn::SpikeTrace> traces,
+                            std::vector<ExecutionReport>& out,
+                            std::size_t threads) {
+  require(accelerator.loaded(), "pipeline: accelerator has no network loaded");
+  out.clear();
+  out.resize(traces.size());
+  if (traces.empty()) return;
+  if (resolve_threads(threads, traces.size()) <= 1) {
+    for (std::size_t i = 0; i < traces.size(); ++i)
+      out[i] = accelerator.execute(traces[i]);
+    return;
+  }
+  parallel_for(traces.size(), threads, [&](std::size_t i) {
+    out[i] = accelerator.execute(traces[i]);
+  });
 }
 
 ComparisonReport Pipeline::compare(const snn::Topology& topology,

@@ -143,6 +143,16 @@ class Pipeline {
                                  std::span<const snn::SpikeTrace> traces,
                                  std::size_t threads = 0);
 
+  /// Replays each trace individually into `out[i]` (resized to
+  /// traces.size()), fanning over the global pool when threads != 1.  The
+  /// execute-into form the serving layer batches over: per-trace reports
+  /// survive, so callers can attribute latency/energy to individual
+  /// requests instead of a merged aggregate.
+  static void execute_each(const Accelerator& accelerator,
+                           std::span<const snn::SpikeTrace> traces,
+                           std::vector<ExecutionReport>& out,
+                           std::size_t threads = 0);
+
   /// Runs the same traces through every named backend (first = reference
   /// baseline for the ratio columns).  Backend names accept the registry's
   /// `"/<strategy>"` suffix ("resparc-64/greedy-pack"), so one comparison

@@ -40,6 +40,19 @@ struct ThreadPool::Impl {
   std::size_t working RESPARC_GUARDED_BY(mutex) = 0;  ///< workers in the job
   std::exception_ptr error RESPARC_GUARDED_BY(mutex);  ///< first exception
 
+  // --- FIFO admission ----------------------------------------------------
+  // Ticket lock over job submission: neither condition-variable wakeups
+  // nor mutex acquisition carry any ordering, so without tickets a
+  // tight-loop producer re-acquiring the mutex could win the admission
+  // race every time and starve other submitters indefinitely
+  // (tests/test_thread_pool.cpp stresses this with many small bursts
+  // from competing producers).  The ticket is drawn from a lock-free
+  // atomic BEFORE the mutex: a caller stuck behind a barging fast
+  // resubmitter still claims its place in line, and the resubmitter's
+  // next ticket parks it on the CV until the queue ahead has drained.
+  std::atomic<std::uint64_t> next_ticket{0};
+  std::uint64_t now_serving RESPARC_GUARDED_BY(mutex) = 0;
+
   /// Claims chunks and runs items until the job is drained or cancelled.
   /// `fn` is dereferenced only after a successful claim, so a worker
   /// arriving after teardown (the cursor is parked at `count`) never
@@ -141,10 +154,14 @@ void ThreadPool::run_indexed(
   }
 
   Impl& im = *impl_;
+  // One job at a time, admitted strictly in ticket order: each caller
+  // draws a ticket and waits until the previous job tore down AND its
+  // number is up, so a burst-submitting producer cannot starve the rest.
+  const std::uint64_t ticket =
+      im.next_ticket.fetch_add(1, std::memory_order_relaxed);
   MutexLock lock(im.mutex);
-  // One job at a time: a later caller waits for the previous job's
-  // teardown (publication happens under the same mutex).
-  while (im.fn != nullptr) im.cv_done.wait(lock.native());
+  while (im.fn != nullptr || ticket != im.now_serving)
+    im.cv_done.wait(lock.native());
 
   const std::size_t active = std::min(max_workers, width());
   im.count = count;
@@ -178,10 +195,11 @@ void ThreadPool::run_indexed(
   im.next.store(im.count, std::memory_order_relaxed);
   while (im.working != 0) im.cv_done.wait(lock.native());
   im.fn = nullptr;
+  ++im.now_serving;  // admit the next ticket holder
   std::exception_ptr error = im.error;
   im.error = nullptr;
   lock.unlock();
-  im.cv_done.notify_all();  // wake any caller queued on `fn == nullptr`
+  im.cv_done.notify_all();  // wake the queued callers; the next ticket wins
   if (error) std::rethrow_exception(error);
 }
 

@@ -38,8 +38,11 @@ inline std::size_t resolve_threads(std::size_t threads, std::size_t count) {
 /// Persistent pool of parked worker threads executing indexed jobs.
 ///
 /// One job runs at a time; concurrent callers serialize on an internal
-/// mutex.  A call from inside a worker (nested parallelism) degrades to
-/// inline serial execution instead of deadlocking.
+/// ticket lock and are admitted in strict arrival order, so a producer
+/// submitting a tight stream of small jobs cannot starve other callers
+/// (condition-variable wakeups alone carry no ordering).  A call from
+/// inside a worker (nested parallelism) degrades to inline serial
+/// execution instead of deadlocking.
 class ThreadPool {
  public:
   /// Spawns `threads - 1` workers (the caller of run() is the extra

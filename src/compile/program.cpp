@@ -349,4 +349,23 @@ void CompiledProgram::check_matches(const snn::Topology& topology) const {
                        " boundaries");
 }
 
+std::uint64_t program_cache_key(const core::ResparcConfig& config,
+                                const snn::Topology& topology,
+                                const std::string& strategy) {
+  // FNV-1a, seeded with the config fingerprint so the key inherits every
+  // architecture/device knob the fingerprint already covers.
+  std::uint64_t h = 0xcbf29ce484222325ull ^ config.fingerprint();
+  const auto mix = [&h](const std::string& text) {
+    for (const char c : text) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xff;  // separator: "ab"+"c" and "a"+"bc" hash differently
+    h *= 0x100000001b3ull;
+  };
+  mix(topology.summary());
+  mix(strategy);
+  return h;
+}
+
 }  // namespace resparc::compile

@@ -114,4 +114,16 @@ struct CompiledProgram {
 std::vector<LayerUtilization> utilization_report(const snn::Topology& topology,
                                                  const core::Mapping& mapping);
 
+/// Stable cache key of one (configuration, topology, strategy) compile:
+/// FNV-1a over config.fingerprint(), Topology::summary() and the strategy
+/// name.  Two compiles with equal keys produce interchangeable programs
+/// (same fingerprint check, same topology shape, same strategy policy), so
+/// this is what serve::ProgramCache names persisted blobs by
+/// (docs/serving.md).  It deliberately reuses the fingerprint that
+/// CompiledProgram records/checks at load time: a blob filed under a key
+/// can never rebind to a different configuration.
+std::uint64_t program_cache_key(const core::ResparcConfig& config,
+                                const snn::Topology& topology,
+                                const std::string& strategy);
+
 }  // namespace resparc::compile

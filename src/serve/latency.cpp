@@ -1,0 +1,173 @@
+#include "serve/latency.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "serve/request.hpp"
+
+namespace resparc::serve {
+
+// ------------------------------------------------------------- histogram --
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t ns) {
+  // Group 0 holds the exact values [0, kSub); group g >= 1 holds
+  // [kSub << (g-1), kSub << g) split into kSub linear sub-buckets.
+  if (ns < kSub) return static_cast<std::size_t>(ns);
+  const unsigned msb = 63 - static_cast<unsigned>(std::countl_zero(ns));
+  const unsigned group = msb - kSubBits + 1;
+  const std::uint64_t sub = (ns >> (msb - kSubBits)) & (kSub - 1);
+  return group * kSub + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t bucket) {
+  const std::size_t group = bucket / kSub;
+  const std::uint64_t sub = bucket % kSub;
+  if (group == 0) return sub;  // exact
+  const unsigned shift = static_cast<unsigned>(group - 1);
+  const std::uint64_t base = (kSub + sub) << shift;
+  const std::uint64_t width = std::uint64_t{1} << shift;
+  return base + width - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::mean_ns() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q >= 1.0) return max_ns();
+  if (q < 0.0) q = 0.0;
+  // Smallest rank whose cumulative count covers the quantile (the
+  // inclusive ceil(q*n) convention: q = 0.5 over 2 values is rank 1).
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (target < 1) target = 1;
+  if (target > total) target = total;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      // The top bucket's upper bound can overshoot the true maximum.
+      const std::uint64_t upper = bucket_upper(b);
+      const std::uint64_t max = max_ns();
+      return upper < max ? upper : max;
+    }
+  }
+  return max_ns();
+}
+
+void LatencyHistogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- recorder --
+
+const char* LatencyRecorder::stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kQueue: return "queue";
+    case Stage::kBatch: return "batch";
+    case Stage::kCompute: return "compute";
+    case Stage::kTransport: return "transport";
+    case Stage::kStall: return "stall";
+    case Stage::kTotal: return "total";
+  }
+  return "?";
+}
+
+namespace {
+std::uint64_t to_ns(double ns) {
+  return ns > 0.0 ? static_cast<std::uint64_t>(ns) : 0;
+}
+}  // namespace
+
+void LatencyRecorder::record_response(const Response& response) {
+  record(Stage::kQueue, response.queue_ns);
+  record(Stage::kBatch, response.batch_ns);
+  // The model-side decomposition: backends with an Ml-NoC model report
+  // compute/transport/noc_stall buckets (docs/noc.md); backends without
+  // one (the CMOS baseline) contribute their whole latency as compute.
+  const double compute = response.report.bucket_ns("compute");
+  const double transport = response.report.bucket_ns("transport");
+  const double stall = response.report.bucket_ns("noc_stall");
+  if (compute > 0.0 || transport > 0.0 || stall > 0.0) {
+    record(Stage::kCompute, to_ns(compute));
+    record(Stage::kTransport, to_ns(transport));
+    record(Stage::kStall, to_ns(stall));
+  } else {
+    record(Stage::kCompute, to_ns(response.report.latency_ns));
+    record(Stage::kTransport, 0);
+    record(Stage::kStall, 0);
+  }
+  record(Stage::kTotal, response.total_ns);
+}
+
+LatencySnapshot LatencyRecorder::snapshot(Stage stage) const {
+  const LatencyHistogram& h = histogram(stage);
+  LatencySnapshot s;
+  s.count = h.count();
+  s.mean_ns = h.mean_ns();
+  s.p50_ns = h.quantile(0.50);
+  s.p95_ns = h.quantile(0.95);
+  s.p99_ns = h.quantile(0.99);
+  s.max_ns = h.max_ns();
+  return s;
+}
+
+void LatencyRecorder::reset() {
+  for (auto& stage : stages_) stage.reset();
+}
+
+std::string LatencyRecorder::to_string() const {
+  std::ostringstream os;
+  Table t({"Stage", "Count", "Mean (us)", "p50 (us)", "p95 (us)", "p99 (us)",
+           "Max (us)"});
+  for (std::size_t i = 0; i < kStages; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    const LatencySnapshot s = snapshot(stage);
+    t.add_row({stage_name(stage), std::to_string(s.count),
+               Table::num(s.mean_ns * 1e-3, 1),
+               Table::num(static_cast<double>(s.p50_ns) * 1e-3, 1),
+               Table::num(static_cast<double>(s.p95_ns) * 1e-3, 1),
+               Table::num(static_cast<double>(s.p99_ns) * 1e-3, 1),
+               Table::num(static_cast<double>(s.max_ns) * 1e-3, 1)});
+  }
+  t.print(os);
+  return os.str();
+}
+
+std::string LatencyRecorder::to_json() const {
+  std::ostringstream os;
+  os << "{\"requests\": " << count() << ", \"stages\": {";
+  for (std::size_t i = 0; i < kStages; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    const LatencySnapshot s = snapshot(stage);
+    if (i != 0) os << ", ";
+    os << '"' << stage_name(stage) << "\": {\"count\": " << s.count
+       << ", \"mean_ns\": " << s.mean_ns << ", \"p50_ns\": " << s.p50_ns
+       << ", \"p95_ns\": " << s.p95_ns << ", \"p99_ns\": " << s.p99_ns
+       << ", \"max_ns\": " << s.max_ns << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace resparc::serve

@@ -1,0 +1,162 @@
+#include "serve/program_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "compile/compiler.hpp"
+#include "serve/request.hpp"
+
+namespace resparc::serve {
+
+namespace {
+
+std::string hex_key(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace
+
+ProgramCache::ProgramCache(ProgramCacheConfig config)
+    : config_(std::move(config)) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  if (!config_.directory.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.directory, ec);
+    // An unusable directory degrades to in-memory behaviour rather than
+    // failing the server over a cache (the cache is an optimisation).
+    persist_ = !ec && std::filesystem::is_directory(config_.directory, ec);
+  }
+}
+
+std::string ProgramCache::blob_path(std::uint64_t key) const {
+  if (!persist_) return {};
+  return (std::filesystem::path(config_.directory) / (hex_key(key) + ".rcp"))
+      .string();
+}
+
+std::shared_ptr<const compile::CompiledProgram> ProgramCache::insert(
+    std::uint64_t key, compile::CompiledProgram program) {
+  auto shared =
+      std::make_shared<const compile::CompiledProgram>(std::move(program));
+  lru_.push_front(Entry{key, shared});
+  index_[key] = lru_.begin();
+  while (lru_.size() > config_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return shared;
+}
+
+std::shared_ptr<const compile::CompiledProgram> ProgramCache::get_or_compile(
+    const core::ResparcConfig& config, const snn::Topology& topology,
+    const std::string& strategy) {
+  const std::uint64_t key =
+      compile::program_cache_key(config, topology, strategy);
+
+  {
+    MutexLock lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.memory_hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+      return it->second->program;
+    }
+  }
+
+  // Disk probe outside the lock: rehydration re-verifies the blob, which
+  // is cheap next to a compile but not worth serializing every caller on.
+  const std::string path = blob_path(key);
+  if (!path.empty() && std::filesystem::exists(path)) {
+    try {
+      compile::CompiledProgram program =
+          compile::CompiledProgram::load_file(path, config);
+      program.check_matches(topology);
+      MutexLock lock(mutex_);
+      ++stats_.disk_hits;
+      return insert(key, std::move(program));
+    } catch (const Error& e) {
+      // Tampered/stale blob: evict the file, remember the diagnostic
+      // code, and fall through to a transparent recompile — corruption
+      // must never surface to the tenant (tests/test_serve.cpp).
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      {
+        MutexLock lock(mutex_);
+        ++stats_.corrupt_evictions;
+        last_corruption_code_ = e.code();
+      }
+      std::cerr << "serve: evicted corrupt program blob " << path << " ["
+                << (e.code().empty() ? "no-code" : e.code())
+                << "]; recompiling\n";
+    }
+  }
+
+  compile::Compiler compiler(config, compile::CompileOptions{config_.activity});
+  compile::CompiledProgram program = compiler.compile(topology, strategy);
+  if (!path.empty() && !program.save_file(path))
+    std::cerr << "serve: could not persist program blob " << path << "\n";
+
+  MutexLock lock(mutex_);
+  ++stats_.misses;
+  // A racing caller may have inserted the same key meanwhile; keep the
+  // existing entry (the programs are interchangeable by construction).
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second->program;
+  return insert(key, std::move(program));
+}
+
+std::shared_ptr<const compile::CompiledProgram> ProgramCache::rehydrate(
+    const core::ResparcConfig& config, const snn::Topology& topology,
+    const std::string& strategy) {
+  const std::uint64_t key =
+      compile::program_cache_key(config, topology, strategy);
+  const std::string path = blob_path(key);
+  if (path.empty() || !std::filesystem::exists(path))
+    throw ServeError("no persisted blob for key " + hex_key(key),
+                     kErrCacheCorrupt);
+  try {
+    compile::CompiledProgram program =
+        compile::CompiledProgram::load_file(path, config);
+    program.check_matches(topology);
+    MutexLock lock(mutex_);
+    ++stats_.disk_hits;
+    return insert(key, std::move(program));
+  } catch (const Error& e) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    {
+      MutexLock lock(mutex_);
+      ++stats_.corrupt_evictions;
+      last_corruption_code_ = e.code();
+    }
+    throw ServeError("persisted blob " + path + " failed verification [" +
+                         (e.code().empty() ? "no-code" : e.code()) +
+                         "]: " + e.what(),
+                     kErrCacheCorrupt);
+  }
+}
+
+ProgramCacheStats ProgramCache::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+std::string ProgramCache::last_corruption_code() const {
+  MutexLock lock(mutex_);
+  return last_corruption_code_;
+}
+
+void ProgramCache::clear_memory() {
+  MutexLock lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace resparc::serve

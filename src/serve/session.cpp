@@ -1,0 +1,169 @@
+#include "serve/session.hpp"
+
+#include <utility>
+
+#include "api/pipeline.hpp"
+
+namespace resparc::serve {
+
+SessionManager::SessionManager(std::uint64_t server_seed)
+    : server_seed_(server_seed) {}
+
+SessionId SessionManager::open(std::string tenant, SessionOptions options) {
+  MutexLock lock(mutex_);
+  const SessionId id = next_id_++;
+  SessionState state;
+  state.tenant = std::move(tenant);
+  // Every session gets its own decorrelated stream; an explicit seed
+  // makes a session reproducible across server instances.
+  state.seed = options.seed != 0
+                   ? options.seed
+                   : api::presentation_seed(server_seed_, id);
+  state.on_response = std::move(options.on_response);
+  sessions_.emplace(id, std::move(state));
+  return id;
+}
+
+void SessionManager::close(SessionId session) {
+  MutexLock lock(mutex_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.open)
+    throw ServeError("unknown session " + std::to_string(session),
+                     kErrUnknownSession);
+  it->second.open = false;
+  reap(session);
+}
+
+bool SessionManager::is_open(SessionId session) const {
+  MutexLock lock(mutex_);
+  auto it = sessions_.find(session);
+  return it != sessions_.end() && it->second.open;
+}
+
+std::string SessionManager::tenant_of(SessionId session) const {
+  MutexLock lock(mutex_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.open)
+    throw ServeError("unknown session " + std::to_string(session),
+                     kErrUnknownSession);
+  return it->second.tenant;
+}
+
+std::pair<std::uint64_t, std::future<Response>> SessionManager::begin_request(
+    SessionId session) {
+  MutexLock lock(mutex_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.open)
+    throw ServeError("unknown session " + std::to_string(session),
+                     kErrUnknownSession);
+  SessionState& state = it->second;
+  const std::uint64_t sequence = state.next_sequence++;
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  state.promises.emplace(sequence, std::move(promise));
+  return {sequence, std::move(future)};
+}
+
+std::uint64_t SessionManager::request_seed(SessionId session,
+                                           std::uint64_t sequence) const {
+  std::uint64_t seed;
+  {
+    MutexLock lock(mutex_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end())
+      throw ServeError("unknown session " + std::to_string(session),
+                       kErrUnknownSession);
+    seed = it->second.seed;
+  }
+  return api::presentation_seed(seed, static_cast<std::size_t>(sequence));
+}
+
+void SessionManager::publish(Response response) {
+  MutexLock lock(mutex_);
+  const SessionId id = response.session;
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;  // session already reaped
+  if (response.sequence < it->second.next_delivery) return;  // already done
+  it->second.held.emplace(response.sequence, std::move(response));
+  deliver(id, lock);
+}
+
+void SessionManager::abandon(SessionId session, std::uint64_t sequence,
+                             std::exception_ptr error) {
+  MutexLock lock(mutex_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  if (sequence < it->second.next_delivery) return;  // already delivered
+  it->second.failed.emplace(sequence, std::move(error));
+  deliver(session, lock);
+}
+
+void SessionManager::deliver(SessionId session, MutexLock& lock) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || it->second.delivering) return;
+  it->second.delivering = true;
+  for (;;) {
+    SessionState& state = sessions_.find(session)->second;
+    const std::uint64_t next = state.next_delivery;
+
+    auto failed = state.failed.find(next);
+    if (failed != state.failed.end()) {
+      std::exception_ptr error = std::move(failed->second);
+      state.failed.erase(failed);
+      auto promise = state.promises.find(next);
+      std::promise<Response> p;
+      const bool have_promise = promise != state.promises.end();
+      if (have_promise) {
+        p = std::move(promise->second);
+        state.promises.erase(promise);
+      }
+      ++state.next_delivery;
+      lock.unlock();
+      if (have_promise) p.set_exception(std::move(error));
+      lock.lock();
+      continue;
+    }
+
+    auto held = state.held.find(next);
+    if (held == state.held.end()) break;
+    Response response = std::move(held->second);
+    state.held.erase(held);
+    auto promise = state.promises.find(next);
+    std::promise<Response> p;
+    const bool have_promise = promise != state.promises.end();
+    if (have_promise) {
+      p = std::move(promise->second);
+      state.promises.erase(promise);
+    }
+    auto callback = state.on_response;  // copy: user code runs unlocked
+    ++state.next_delivery;
+
+    lock.unlock();
+    if (callback) callback(response);
+    if (have_promise) p.set_value(std::move(response));
+    lock.lock();
+  }
+  SessionState& state = sessions_.find(session)->second;
+  state.delivering = false;
+  if (!state.open) reap(session);
+}
+
+void SessionManager::reap(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  const SessionState& state = it->second;
+  // Keep closed sessions alive while responses can still arrive: every
+  // reserved sequence resolves through publish()/abandon().
+  if (!state.open && !state.delivering && state.promises.empty() &&
+      state.held.empty() && state.failed.empty())
+    sessions_.erase(it);
+}
+
+std::size_t SessionManager::open_count() const {
+  MutexLock lock(mutex_);
+  std::size_t open = 0;
+  for (const auto& [id, state] : sessions_) open += state.open ? 1 : 0;
+  return open;
+}
+
+}  // namespace resparc::serve

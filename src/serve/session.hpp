@@ -1,0 +1,155 @@
+// Tenants and sessions of the serving layer (docs/serving.md).
+//
+// A *tenant* binds a topology to a backend registry key — the unit the
+// server compiles, loads replicas for, and forms batches over.  A
+// *session* is one client's stream of requests against a tenant.  Two
+// guarantees make concurrent sessions share chips safely:
+//
+//  * Per-session determinism: every session owns an RNG stream seeded
+//    from (server seed, session id) — request `sequence` within a session
+//    fully determines the simulation RNG, so another tenant's concurrent
+//    load can never perturb this session's results.
+//  * Ordered delivery: responses of one session are published in submit
+//    order (a reorder buffer holds back batches that completed early), so
+//    futures and callbacks complete in sequence order per session even
+//    when replicas finish out of order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "common/thread_safety.hpp"
+#include "serve/request.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
+#include "snn/topology.hpp"
+
+namespace resparc::serve {
+
+/// What a tenant binds: the network shape, the backend that hosts it, and
+/// the simulation settings for raw-image requests.
+struct TenantSpec {
+  /// Backend registry key ("resparc-64/greedy-pack", "cmos", ...); the
+  /// full api::make_accelerator suffix grammar applies.
+  std::string backend = "resparc";
+  /// The network shape this tenant serves (the placeholder default is a
+  /// valid 1-in/1-out topology; real tenants always overwrite it).
+  snn::Topology topology{"unset", {1, 1, 1}, {snn::LayerSpec::dense(1)}};
+  /// Calibrated network for raw-image requests (optional: trace-only
+  /// tenants replay pre-recorded traces and never simulate).
+  std::optional<snn::Network> network;
+  /// Backend construction options (config, strategy, execution, noc).
+  api::BackendOptions options{};
+  /// Encoder/timestep settings used to simulate raw-image requests.
+  snn::SimConfig sim{};
+};
+
+/// Per-session knobs.
+struct SessionOptions {
+  /// Session RNG seed override (0 = derive from the server seed and the
+  /// session id, which already gives every session its own stream).
+  std::uint64_t seed = 0;
+  /// Invoked for every response of this session, always in sequence
+  /// order, from a dispatcher thread.  Optional; futures work either way.
+  std::function<void(const Response&)> on_response{};
+};
+
+/// Tracks sessions and enforces the per-session ordered-delivery
+/// contract.  Thread-safe; the server calls publish() from its
+/// dispatcher threads.
+class SessionManager {
+ public:
+  /// Builds a manager deriving session seeds from `server_seed`.
+  explicit SessionManager(std::uint64_t server_seed);
+
+  /// Opens a session bound to `tenant` and returns its id (ids are
+  /// process-unique and never reused).
+  SessionId open(std::string tenant, SessionOptions options);
+
+  /// Closes a session; later submits with the id report
+  /// RS-SESSION-UNKNOWN.  In-flight requests still publish.
+  void close(SessionId session);
+
+  /// True while the session is open.
+  bool is_open(SessionId session) const;
+
+  /// Tenant name the session is bound to; throws ServeError
+  /// (RS-SESSION-UNKNOWN) for unknown/closed sessions.
+  std::string tenant_of(SessionId session) const;
+
+  /// Reserves the next sequence number of the session and returns it
+  /// together with the future of its response; throws ServeError
+  /// (RS-SESSION-UNKNOWN) for unknown sessions.
+  std::pair<std::uint64_t, std::future<Response>> begin_request(
+      SessionId session);
+
+  /// RNG seed of one request: SplitMix64 over (session seed, sequence) —
+  /// identical to api::presentation_seed's decorrelation, so a request's
+  /// simulation never depends on scheduling or co-tenants.
+  std::uint64_t request_seed(SessionId session, std::uint64_t sequence) const;
+
+  /// Hands a completed response to the delivery layer.  The response is
+  /// held until every earlier sequence of its session has been
+  /// published, then promises/callbacks fire in sequence order.
+  void publish(Response response);
+
+  /// Marks the reserved sequence as abandoned (its batch failed before a
+  /// response existed): delivery of later sequences must not stall.  The
+  /// promise receives `error`.
+  void abandon(SessionId session, std::uint64_t sequence,
+               std::exception_ptr error);
+
+  /// Number of currently open sessions.
+  std::size_t open_count() const;
+
+ private:
+  struct SessionState {
+    std::string tenant;
+    std::uint64_t seed = 0;
+    std::function<void(const Response&)> on_response;
+    std::uint64_t next_sequence = 0;    ///< next sequence to hand out
+    std::uint64_t next_delivery = 0;    ///< next sequence to publish
+    /// Completed-but-undeliverable responses (earlier sequence pending).
+    std::map<std::uint64_t, Response> held;
+    /// Abandoned sequences (failed before producing a response).
+    std::map<std::uint64_t, std::exception_ptr> failed;
+    /// Promise per reserved sequence, fulfilled at ordered delivery.
+    std::map<std::uint64_t, std::promise<Response>> promises;
+    bool open = true;
+    /// True while one thread is draining this session's ready responses;
+    /// concurrent publishers stash and leave, so promises/callbacks fire
+    /// strictly in sequence order from a single thread at a time.
+    bool delivering = false;
+  };
+
+  /// Single-drainer ordered delivery: fires every ready response of the
+  /// session in sequence order, releasing the lock around user code.
+  ///
+  /// Analysis opt-out: the method is called with mutex_ held, drops the
+  /// caller's lock around each promise/callback and re-acquires it — a
+  /// hand-over-hand pattern the static analysis cannot follow.  The
+  /// `delivering` flag guarantees at most one drainer per session, and
+  /// every guarded member is only touched while the lock is held.
+  void deliver(SessionId session, MutexLock& lock)
+      RESPARC_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Erases a closed session once nothing can still publish into it.
+  void reap(SessionId session) RESPARC_REQUIRES(mutex_);
+
+  std::uint64_t server_seed_;
+  mutable Mutex mutex_;
+  std::uint64_t next_id_ RESPARC_GUARDED_BY(mutex_) = 1;
+  std::unordered_map<SessionId, SessionState> sessions_
+      RESPARC_GUARDED_BY(mutex_);
+};
+
+}  // namespace resparc::serve
