@@ -1,0 +1,12 @@
+#include "api/accelerator.hpp"
+
+namespace resparc::api {
+
+void Accelerator::execute_each(std::span<const snn::SpikeTrace> traces,
+                               std::vector<ExecutionReport>& reports_out) const {
+  reports_out.clear();
+  reports_out.reserve(traces.size());
+  for (const auto& trace : traces) reports_out.push_back(execute(trace));
+}
+
+}  // namespace resparc::api

@@ -111,6 +111,16 @@ class Accelerator {
     return execute(std::span<const snn::SpikeTrace>(&trace, 1));
   }
 
+  /// Replays every trace separately: `reports_out` is cleared and
+  /// refilled with one report per trace, in trace order, each bit-for-bit
+  /// identical to execute(traces[i]).  The default loops the single-trace
+  /// execute(); backends with a batched datapath (RESPARC in packed mode)
+  /// override it to replay all traces in one pass over their route
+  /// tables (docs/execution.md).  Must stay const and thread-safe like
+  /// execute().
+  virtual void execute_each(std::span<const snn::SpikeTrace> traces,
+                            std::vector<ExecutionReport>& reports_out) const;
+
   /// Implementation metrics of one tile (area/power/gates/frequency).
   virtual AcceleratorMetrics metrics() const = 0;
 

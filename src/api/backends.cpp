@@ -64,7 +64,8 @@ std::string ResparcBackend::name() const {
   const std::string& s = strategy();  // the loaded program's, once loaded
   std::string name = s == "paper" ? chip_.config().label()
                                   : chip_.config().label() + "/" + s;
-  if (execution_ == snn::ExecutionMode::kSparse) name += "+sparse";
+  if (execution_ != snn::ExecutionMode::kDense)
+    name += "+" + snn::to_string(execution_);
   if (chip_.fidelity() == noc::Fidelity::kEvent) name += "@event";
   return name;
 }
@@ -82,6 +83,10 @@ void ResparcBackend::load_program(const snn::Topology& topology,
 ExecutionReport ResparcBackend::execute(
     std::span<const snn::SpikeTrace> traces) const {
   require(loaded(), "ResparcBackend: no network loaded");
+  if (execution_ == snn::ExecutionMode::kPacked)
+    // Trace-per-lane batched replay: bit-for-bit the sequential report
+    // from one pass over the route table (core/executor.hpp).
+    return to_execution_report(chip_.execute_batched(traces), name());
   if (execution_ != snn::ExecutionMode::kSparse)
     return to_execution_report(chip_.execute(traces), name());
   core::EventStream stream;
@@ -89,6 +94,23 @@ ExecutionReport ResparcBackend::execute(
       to_execution_report(chip_.execute(traces, &stream), name());
   report.events = std::move(stream);
   return report;
+}
+
+void ResparcBackend::execute_each(
+    std::span<const snn::SpikeTrace> traces,
+    std::vector<ExecutionReport>& reports_out) const {
+  require(loaded(), "ResparcBackend: no network loaded");
+  if (execution_ != snn::ExecutionMode::kPacked) {
+    Accelerator::execute_each(traces, reports_out);
+    return;
+  }
+  std::vector<core::RunReport> native(traces.size());
+  chip_.execute_each(traces, native);
+  reports_out.clear();
+  reports_out.reserve(traces.size());
+  const std::string label = name();
+  for (core::RunReport& r : native)
+    reports_out.push_back(to_execution_report(r, label));
 }
 
 AcceleratorMetrics ResparcBackend::metrics() const {

@@ -36,8 +36,9 @@ class ResparcBackend final : public Accelerator {
       noc::Fidelity noc = noc::Fidelity::kAnalytic);
 
   /// Config label, e.g. "RESPARC-64"; non-default strategies append
-  /// `"/<strategy>"`, sparse execution appends "+sparse" and event NoC
-  /// fidelity appends "@event" ("RESPARC-64/greedy-pack+sparse@event").
+  /// `"/<strategy>"`, non-dense execution appends "+sparse"/"+packed" and
+  /// event NoC fidelity appends "@event"
+  /// ("RESPARC-64/greedy-pack+sparse@event").
   std::string name() const override;
   /// Compiles `topology` with the configured strategy and hosts it.
   void load(const snn::Topology& topology) override;
@@ -45,9 +46,17 @@ class ResparcBackend final : public Accelerator {
   bool loaded() const override { return chip_.loaded(); }
   /// Replays the traces; in sparse mode the report additionally carries
   /// the merged per-timestep event stream (ExecutionReport::events) with
-  /// headline numbers bit-for-bit identical to dense mode.
+  /// headline numbers bit-for-bit identical to dense mode.  Packed mode
+  /// replays all traces in one batched trace-per-lane pass
+  /// (core::ResparcChip::execute_batched) — identical report, fewer
+  /// route-table walks.
   ExecutionReport execute(
       std::span<const snn::SpikeTrace> traces) const override;
+  /// Per-trace replay; packed mode batches all lanes through one pass
+  /// (core::ResparcChip::execute_each), other modes use the base loop.
+  /// Either way reports_out[i] is bit-for-bit execute(traces[i]).
+  void execute_each(std::span<const snn::SpikeTrace> traces,
+                    std::vector<ExecutionReport>& reports_out) const override;
   /// Fig. 8 metric roll-up of one NeuroCell at this configuration.
   AcceleratorMetrics metrics() const override;
   /// RESPARC compiles through the mapping-strategy layer.

@@ -1,0 +1,234 @@
+#include "api/differential.hpp"
+
+#include <vector>
+
+#include "api/registry.hpp"
+#include "common/rng.hpp"
+#include "snn/simulator.hpp"
+
+namespace resparc::api {
+
+namespace {
+
+/// Names an execution mode for failure messages.
+const char* mode_name(snn::ExecutionMode m) {
+  switch (m) {
+    case snn::ExecutionMode::kSparse: return "sparse";
+    case snn::ExecutionMode::kPacked: return "packed";
+    case snn::ExecutionMode::kDense: break;
+  }
+  return "dense";
+}
+
+std::string diverged(const snn::FuzzCase& c, const std::string& what) {
+  return c.summary() + ": " + what;
+}
+
+bool same_vector(const snn::SpikeVector& a, const snn::SpikeVector& b) {
+  if (a.size() != b.size()) return false;
+  const auto wa = a.words();
+  const auto wb = b.words();
+  for (std::size_t i = 0; i < wa.size(); ++i)
+    if (wa[i] != wb[i]) return false;
+  return true;
+}
+
+/// Exact comparison of two simulation results; fills `why` on divergence.
+bool same_sim(const snn::SimResult& a, const snn::SimResult& b,
+              std::string& why) {
+  if (a.total_spikes != b.total_spikes) {
+    why = "total_spikes " + std::to_string(a.total_spikes) + " vs " +
+          std::to_string(b.total_spikes);
+    return false;
+  }
+  if (a.predicted_class != b.predicted_class) {
+    why = "predicted_class";
+    return false;
+  }
+  if (a.output_spike_counts != b.output_spike_counts) {
+    why = "output_spike_counts";
+    return false;
+  }
+  if (a.trace.layers.size() != b.trace.layers.size()) {
+    why = "trace layer count";
+    return false;
+  }
+  for (std::size_t l = 0; l < a.trace.layers.size(); ++l) {
+    if (a.trace.layers[l].size() != b.trace.layers[l].size()) {
+      why = "trace timesteps at layer " + std::to_string(l);
+      return false;
+    }
+    for (std::size_t t = 0; t < a.trace.layers[l].size(); ++t)
+      if (!same_vector(a.trace.layers[l][t], b.trace.layers[l][t])) {
+        why = "spikes at layer " + std::to_string(l) + " step " +
+              std::to_string(t);
+        return false;
+      }
+  }
+  return true;
+}
+
+/// Exact comparison of two replay reports (unified fields, energy and
+/// latency buckets, plus every native counter).
+bool same_report(const ExecutionReport& a, const ExecutionReport& b,
+                 std::string& why) {
+  if (a.classifications != b.classifications) {
+    why = "classifications";
+    return false;
+  }
+  if (a.energy_pj != b.energy_pj) {
+    why = "energy_pj";
+    return false;
+  }
+  if (a.latency_ns != b.latency_ns) {
+    why = "latency_ns";
+    return false;
+  }
+  if (a.throughput_hz != b.throughput_hz) {
+    why = "throughput_hz";
+    return false;
+  }
+  if (a.energy_breakdown_pj != b.energy_breakdown_pj) {
+    why = "energy_breakdown_pj";
+    return false;
+  }
+  if (a.latency_breakdown_ns != b.latency_breakdown_ns) {
+    why = "latency_breakdown_ns";
+    return false;
+  }
+  if (a.resparc.has_value() != b.resparc.has_value()) {
+    why = "native report presence";
+    return false;
+  }
+  if (a.resparc) {
+    const core::RunReport& ra = *a.resparc;
+    const core::RunReport& rb = *b.resparc;
+    const core::EnergyBreakdown &ea = ra.energy, &eb = rb.energy;
+    if (ea.neuron_pj != eb.neuron_pj || ea.crossbar_pj != eb.crossbar_pj ||
+        ea.buffer_pj != eb.buffer_pj || ea.control_pj != eb.control_pj ||
+        ea.comm_pj != eb.comm_pj || ea.leakage_pj != eb.leakage_pj) {
+      why = "native energy breakdown";
+      return false;
+    }
+    const core::EventCounts &va = ra.events, &vb = rb.events;
+    if (va.mca_activations != vb.mca_activations ||
+        va.mca_skips != vb.mca_skips ||
+        va.neuron_integrations != vb.neuron_integrations ||
+        va.neuron_fires != vb.neuron_fires ||
+        va.buffer_bits != vb.buffer_bits ||
+        va.switch_flits != vb.switch_flits ||
+        va.switch_skips != vb.switch_skips || va.bus_words != vb.bus_words ||
+        va.bus_skips != vb.bus_skips ||
+        va.ccu_transfers != vb.ccu_transfers ||
+        va.sram_reads != vb.sram_reads || va.sram_writes != vb.sram_writes) {
+      why = "native event counters";
+      return false;
+    }
+    if (ra.perf.cycles_pipelined != rb.perf.cycles_pipelined ||
+        ra.perf.cycles_serial != rb.perf.cycles_serial ||
+        ra.perf.cycles_compute != rb.perf.cycles_compute ||
+        ra.perf.cycles_transport != rb.perf.cycles_transport ||
+        ra.perf.cycles_stall != rb.perf.cycles_stall ||
+        ra.perf.clock_mhz != rb.perf.clock_mhz) {
+      why = "native perf counters";
+      return false;
+    }
+    const auto same_level = [](const noc::LevelStats& x,
+                               const noc::LevelStats& y) {
+      return x.words == y.words && x.hops == y.hops && x.drops == y.drops &&
+             x.stall_cycles == y.stall_cycles &&
+             x.busy_cycles == y.busy_cycles && x.queue_peak == y.queue_peak;
+    };
+    if (!same_level(ra.noc.mesh, rb.noc.mesh) ||
+        !same_level(ra.noc.tree, rb.noc.tree) ||
+        !same_level(ra.noc.bus, rb.noc.bus)) {
+      why = "native noc counters";
+      return false;
+    }
+    if (ra.classifications != rb.classifications) {
+      why = "native classifications";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+DifferentialResult check_differential(const snn::FuzzCase& c) {
+  DifferentialResult out;
+  const snn::Network net = snn::make_fuzz_network(c);
+
+  // -- simulation: dense is the oracle; sparse and packed must match it --
+  snn::SimConfig cfg;
+  cfg.timesteps = c.timesteps;
+  cfg.encoder = c.encoder;
+  cfg.record_trace = true;
+
+  snn::SimResult results[3];
+  const snn::ExecutionMode modes[] = {snn::ExecutionMode::kDense,
+                                      snn::ExecutionMode::kSparse,
+                                      snn::ExecutionMode::kPacked};
+  for (std::size_t m = 0; m < 3; ++m) {
+    cfg.mode = modes[m];
+    snn::Simulator sim(net, cfg);
+    // Same seed per mode: the encoder consumes identical random streams,
+    // so any divergence is the engine's, not the input's.
+    Rng rng(c.seed ^ 0xd1ffe8e47ull);
+    results[m] = sim.run(c.image, rng);
+  }
+  for (std::size_t m = 1; m < 3; ++m) {
+    std::string why;
+    if (!same_sim(results[0], results[m], why)) {
+      out.ok = false;
+      out.detail = diverged(
+          c, std::string("dense vs ") + mode_name(modes[m]) + ": " + why);
+      return out;
+    }
+  }
+
+  // -- replay: sequential dense executor vs the "+packed" batched path --
+  const std::string base = "resparc-" + std::to_string(c.mca_size);
+  const auto dense_accel = make_accelerator(base);
+  const auto packed_accel = make_accelerator(base + "+packed");
+  dense_accel->load(c.topology);
+  packed_accel->load(c.topology);
+
+  // Two presentations (the same trace twice) exercise the multi-lane path
+  // even though one fuzz case yields one trace.
+  const std::vector<snn::SpikeTrace> traces = {results[0].trace,
+                                               results[0].trace};
+  const ExecutionReport ref = dense_accel->execute(traces);
+  ExecutionReport batched = packed_accel->execute(traces);
+  // The backend label legitimately differs ("+packed"); align it so
+  // same_report compares only the numbers.
+  batched.backend = ref.backend;
+  std::string why;
+  if (!same_report(ref, batched, why)) {
+    out.ok = false;
+    out.detail = diverged(c, "executor dense vs batched: " + why);
+    return out;
+  }
+
+  // -- per-trace replay: execute_each lanes vs solo execute() ----------
+  std::vector<ExecutionReport> each;
+  packed_accel->execute_each(traces, each);
+  if (each.size() != traces.size()) {
+    out.ok = false;
+    out.detail = diverged(c, "execute_each report count");
+    return out;
+  }
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    ExecutionReport solo = dense_accel->execute(traces[i]);
+    each[i].backend = solo.backend;
+    if (!same_report(solo, each[i], why)) {
+      out.ok = false;
+      out.detail = diverged(c, "execute_each lane " + std::to_string(i) +
+                                   " vs solo execute: " + why);
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace resparc::api

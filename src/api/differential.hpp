@@ -1,0 +1,39 @@
+// Differential oracle of the execution stack (docs/execution.md).
+//
+// One fuzz case (snn/fuzz.hpp) is pushed through every path that claims
+// bit-for-bit equivalence and the results are compared exactly:
+//
+//   * simulation — dense, sparse and packed Simulator runs must agree
+//     spike-for-spike (full trace), on every output count and on the
+//     total spike tally;
+//   * replay — the "resparc-<mca>" accelerator's sequential execute()
+//     and its "+packed" batched twin must produce identical reports,
+//     field for field, including every native counter;
+//   * per-trace replay — Accelerator::execute_each reports must equal
+//     the per-trace execute() reports.
+//
+// check_differential returns the first divergence as a human-readable
+// string naming the seed, the paths compared and the field that split,
+// so a fuzz failure is directly actionable.  tests/test_differential.cpp
+// sweeps random seeds plus the regression corpus
+// (tests/data/corpus/seeds.txt); tools/fuzz_topology drives bulk hunts.
+#pragma once
+
+#include <string>
+
+#include "snn/fuzz.hpp"
+
+namespace resparc::api {
+
+/// Outcome of one differential run.
+struct DifferentialResult {
+  bool ok = true;      ///< every compared path agreed exactly
+  std::string detail;  ///< first divergence ("seed=.. dense vs packed ..");
+                       ///< empty when ok
+};
+
+/// Runs `c` through every engine and replay path and compares exactly.
+/// Deterministic: the same case always produces the same verdict.
+DifferentialResult check_differential(const snn::FuzzCase& c);
+
+}  // namespace resparc::api

@@ -327,16 +327,32 @@ void Pipeline::execute_each(const Accelerator& accelerator,
                             std::size_t threads) {
   require(accelerator.loaded(), "pipeline: accelerator has no network loaded");
   out.clear();
-  out.resize(traces.size());
   if (traces.empty()) return;
-  if (resolve_threads(threads, traces.size()) <= 1) {
-    for (std::size_t i = 0; i < traces.size(); ++i)
-      out[i] = accelerator.execute(traces[i]);
+  const std::size_t workers = resolve_threads(threads, traces.size());
+  if (workers <= 1) {
+    // One call covers the whole span so batched backends (packed mode)
+    // replay every trace in a single route-table pass.
+    accelerator.execute_each(traces, out);
     return;
   }
-  parallel_for(traces.size(), threads, [&](std::size_t i) {
-    out[i] = accelerator.execute(traces[i]);
+  // Contiguous per-worker chunks, each replayed through the accelerator's
+  // execute_each: a batched backend amortizes within every chunk, and
+  // stitching chunks back in index order keeps out[i] == execute(traces[i])
+  // for any thread count (each lane's report is bit-for-bit the solo one).
+  out.resize(traces.size());
+  std::vector<std::vector<ExecutionReport>> chunks(workers);
+  const std::size_t n = traces.size();
+  parallel_for(workers, threads, [&](std::size_t c) {
+    const std::size_t begin = c * n / workers;
+    const std::size_t end = (c + 1) * n / workers;
+    if (end > begin)
+      accelerator.execute_each(traces.subspan(begin, end - begin), chunks[c]);
   });
+  for (std::size_t c = 0; c < workers; ++c) {
+    const std::size_t begin = c * n / workers;
+    for (std::size_t i = 0; i < chunks[c].size(); ++i)
+      out[begin + i] = std::move(chunks[c][i]);
+  }
 }
 
 ComparisonReport Pipeline::compare(const snn::Topology& topology,

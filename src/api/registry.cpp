@@ -40,7 +40,7 @@ std::string strategies_list() {
   return join_names(compile::registered_strategies()) + ", auto";
 }
 
-constexpr const char* kModesList = "dense, sparse";
+constexpr const char* kModesList = "dense, sparse, packed";
 
 }  // namespace
 

@@ -16,9 +16,10 @@
 // strategy the compile layer uses (compile/strategy.hpp: "paper",
 // "greedy-pack", "balanced", "auto", plus anything added through
 // compile::register_strategy) and a "+<mode>" suffix selecting the
-// execution mode ("dense"/"sparse", docs/execution.md):
+// execution mode ("dense"/"sparse"/"packed", docs/execution.md):
 //
 //   auto sparse = api::make_accelerator("resparc-64/greedy-pack+sparse");
+//   auto packed = api::make_accelerator("resparc-64+packed");
 //
 // The same choices are available programmatically through
 // BackendOptions::strategy and BackendOptions::execution.
@@ -61,9 +62,10 @@ struct BackendOptions {
   std::string strategy = "paper";
   /// Execution mode for backends that support it (the RESPARC fabric):
   /// kSparse makes execute() record the per-timestep hardware event
-  /// streams into ExecutionReport::events, with headline numbers
-  /// bit-for-bit identical to dense.  A `"+<mode>"` key suffix overrides
-  /// this.  Backends without mode support ignore it.
+  /// streams into ExecutionReport::events; kPacked replays trace batches
+  /// lane-per-trace through one route-table pass.  Headline numbers are
+  /// bit-for-bit identical to dense either way.  A `"+<mode>"` key suffix
+  /// overrides this.  Backends without mode support ignore it.
   snn::ExecutionMode execution = snn::ExecutionMode::kDense;
   /// Ml-NoC timing fidelity for the RESPARC fabric (docs/noc.md):
   /// kAnalytic reproduces the flat per-word transfer charges bit-for-bit;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <vector>
 
 #include "common/error.hpp"
 #include "tech/sram.hpp"
@@ -21,6 +22,34 @@ std::size_t nonzero_words(const SpikeVector& v) {
 }
 
 }  // namespace
+
+/// Technology constants every stage of every step reads: hoisted once per
+/// replay call so the batched path fetches them once for the whole batch.
+struct Executor::ReplayCosts {
+  const ResparcConfig& cfg;
+  const tech::Technology& t;
+  const tech::DigitalCosts& d;
+  tech::Memristor device;
+  double cell_pj;
+  double cell_off_pj;
+  double sneak;
+  double mca_size_d;  ///< cfg.mca_size as double (exact)
+  tech::SramModel sram;
+};
+
+/// One replay lane: its report under construction, cycle tallies, and —
+/// under event fidelity — its own NoC fabric (FIFO clocks are per-trace
+/// state and must not be shared across lanes).
+struct Executor::LaneAccum {
+  RunReport report;
+  double cycles_pipelined = 0.0;
+  double cycles_serial = 0.0;
+  double cycles_compute = 0.0;
+  double cycles_transport = 0.0;
+  double cycles_stall = 0.0;
+  std::optional<noc::Fabric> fabric;
+  EventStream* stream = nullptr;
+};
 
 Executor::Executor(const snn::Topology& topology, const Mapping& mapping)
     : Executor(topology, mapping, noc::compute_routes(mapping),
@@ -45,6 +74,27 @@ Executor::Executor(const snn::Topology& topology, const Mapping& mapping,
   // and the final-layer egress.
   require(routes_.size() == topology.layer_count() + 1,
           "executor: route table does not cover every layer boundary");
+
+  const ResparcConfig& cfg = mapping_.config;
+  const tech::DigitalCosts& d = cfg.technology.digital;
+  group_consts_.resize(mapping.layers.size());
+  for (std::size_t l = 0; l < mapping.layers.size(); ++l) {
+    const snn::LayerInfo& li = topology.layers()[l];
+    group_consts_[l].reserve(mapping.layers[l].groups.size());
+    for (const McaGroup& g : mapping.layers[l].groups) {
+      GroupConsts gc;
+      gc.bits = static_cast<double>(slice_bits(g.slice, li.in_shape));
+      gc.driven_scale = static_cast<double>(g.rows_used * g.mca_count);
+      gc.synapses = static_cast<double>(g.synapses);
+      gc.total_cells = static_cast<double>(g.mca_count) *
+                       static_cast<double>(cfg.mca_size * cfg.mca_size);
+      gc.control_pj = static_cast<double>(g.mca_count) * d.mca_control_pj +
+                      static_cast<double>(g.mca_count * cfg.mca_size) *
+                          d.column_interface_pj;
+      gc.buffer_bits = g.mca_count * cfg.mca_size;
+      group_consts_[l].push_back(gc);
+    }
+  }
 }
 
 std::size_t Executor::slice_bits(const InputSlice& slice,
@@ -68,194 +118,182 @@ std::size_t Executor::active_in_slice(const InputSlice& slice,
   return active;
 }
 
-RunReport Executor::run(const snn::SpikeTrace& trace) const {
-  return run(trace, nullptr);
-}
-
-RunReport Executor::run(const snn::SpikeTrace& trace,
-                        EventStream* stream) const {
+Executor::ReplayCosts Executor::make_costs() const {
   const ResparcConfig& cfg = mapping_.config;
   const tech::Technology& t = cfg.technology;
-  const tech::DigitalCosts& d = t.digital;
   const tech::Memristor device{t.memristor};
-  const double cell_pj = device.mean_cell_read_energy_pj();
-  const double cell_off_pj = device.cell_read_energy_pj(device.g_min());
-  const double sneak = device.params().sneak_leak_fraction;
-  const tech::SramModel sram{
-      {.capacity_bytes = cfg.input_sram_bytes, .word_bits = 64}};
+  return ReplayCosts{
+      cfg,
+      t,
+      t.digital,
+      device,
+      device.mean_cell_read_energy_pj(),
+      device.cell_read_energy_pj(device.g_min()),
+      device.params().sneak_leak_fraction,
+      static_cast<double>(cfg.mca_size),
+      tech::SramModel{
+          {.capacity_bytes = cfg.input_sram_bytes, .word_bits = 64}}};
+}
 
-  require(trace.layer_count() == topology_.layer_count() + 1,
-          "executor: trace does not match topology");
-  const std::size_t T = trace.timesteps();
-  require(T > 0, "executor: empty trace");
+void Executor::step_lane(const snn::SpikeTrace& trace, std::size_t step,
+                         const ReplayCosts& costs, LaneAccum& lane) const {
+  const ResparcConfig& cfg = costs.cfg;
+  const tech::DigitalCosts& d = costs.d;
+  const double cell_pj = costs.cell_pj;
+  const double cell_off_pj = costs.cell_off_pj;
+  const double sneak = costs.sneak;
 
-  RunReport report;
-  report.classifications = 1;
-  EnergyBreakdown& e = report.energy;
-  EventCounts& ev = report.events;
-  noc::NocStats& nstats = report.noc;
+  EnergyBreakdown& e = lane.report.energy;
+  EventCounts& ev = lane.report.events;
+  noc::NocStats& nstats = lane.report.noc;
+  std::optional<noc::Fabric>& fabric = lane.fabric;
+  EventStream* stream = lane.stream;
 
-  double cycles_pipelined = 0.0;
-  double cycles_serial = 0.0;
-  double cycles_compute = 0.0;
-  double cycles_transport = 0.0;
-  double cycles_stall = 0.0;
+  double stage_max = 0.0;
+  if (fabric) fabric->begin_step();
 
-  // The event fabric keeps FIFO queues and per-resource clocks; the
-  // analytic path is pure counter arithmetic (zero-allocation steady
-  // state, tests/test_allocation.cpp) through noc::analytic_transfer.
-  const bool event_noc = fidelity_ == noc::Fidelity::kEvent;
-  std::optional<noc::Fabric> fabric;
-  if (event_noc) fabric.emplace(cfg, mapping_.total_neurocells);
-
-  if (stream)
-    *stream = EventStream(T, topology_.layer_count() + 1);
-
-  for (std::size_t step = 0; step < T; ++step) {
-    double stage_max = 0.0;
-    if (fabric) fabric->begin_step();
-
-    // -- input broadcast from the SRAM (zero-check at the read port) -----
-    {
-      const noc::Route& route = routes_.boundaries[0];
-      const SpikeVector& in0 = trace.layers[0][step];
-      const std::size_t total = in0.word_count();
-      const std::size_t nz = nonzero_words(in0);
-      const std::size_t sent = cfg.event_driven ? nz : total;
-      const std::size_t zeros = cfg.event_driven ? total - nz : 0;
-      ev.sram_writes += sent;  // host deposits the encoded input
-      ev.sram_reads += sent;
-      ev.bus_words += sent;
-      ev.bus_skips += zeros;
-      if (stream) {
-        StepEvents& cell = stream->at(step, 0);
-        cell.words_sent = sent;
-        cell.words_skipped = zeros;
-        cell.neuron_fires = in0.count();
-      }
-      const noc::Transport tr =
-          fabric ? fabric->transfer(route, sent, zeros, 0.0)
-                 : noc::analytic_transfer(route, sent, zeros, cfg, nstats);
-      stage_max = std::max(stage_max, tr.cycles);
-      cycles_serial += tr.cycles;
-      cycles_transport += tr.cycles - tr.stall_cycles;
-      cycles_stall += tr.stall_cycles;
+  // -- input broadcast from the SRAM (zero-check at the read port) -----
+  {
+    const noc::Route& route = routes_.boundaries[0];
+    const SpikeVector& in0 = trace.layers[0][step];
+    const std::size_t total = in0.word_count();
+    const std::size_t nz = nonzero_words(in0);
+    const std::size_t sent = cfg.event_driven ? nz : total;
+    const std::size_t zeros = cfg.event_driven ? total - nz : 0;
+    ev.sram_writes += sent;  // host deposits the encoded input
+    ev.sram_reads += sent;
+    ev.bus_words += sent;
+    ev.bus_skips += zeros;
+    if (stream) {
+      StepEvents& cell = stream->at(step, 0);
+      cell.words_sent = sent;
+      cell.words_skipped = zeros;
+      cell.neuron_fires = in0.count();
     }
-
-    for (std::size_t l = 0; l < topology_.layer_count(); ++l) {
-      const snn::LayerInfo& li = topology_.layers()[l];
-      const LayerMapping& lm = mapping_.layers[l];
-      const SpikeVector& in_vec = trace.layers[l][step];
-      const SpikeVector& out_vec = trace.layers[l + 1][step];
-
-      StepEvents* cell = stream ? &stream->at(step, l + 1) : nullptr;
-
-      bool layer_active = false;
-      for (const McaGroup& g : lm.groups) {
-        const std::size_t bits = slice_bits(g.slice, li.in_shape);
-        const std::size_t active = active_in_slice(g.slice, li.in_shape, in_vec);
-        if (active == 0 && cfg.event_driven) {
-          ev.mca_skips += g.mca_count;
-          if (cell) cell->mca_skips += g.mca_count;
-          continue;
-        }
-        layer_active = layer_active || active > 0;
-        const double fraction =
-            bits ? static_cast<double>(active) / static_cast<double>(bits) : 0.0;
-        // Programmed cells on driven rows dissipate at the mean programmed
-        // conductance; the *unmapped* crosspoints of a driven row still sit
-        // at G_off and leak V^2*G_off*t each — the physical cost of poor
-        // utilisation that makes oversized MCAs lose on sparse (CNN)
-        // connectivity (paper section 5.2, Fig. 12(c)).
-        const double driven_rows =
-            fraction * static_cast<double>(g.rows_used * g.mca_count);
-        const double driven_cells =
-            driven_rows * static_cast<double>(cfg.mca_size);
-        const double used_cells = fraction * static_cast<double>(g.synapses);
-        e.crossbar_pj += used_cells * cell_pj +
-                         std::max(0.0, driven_cells - used_cells) * cell_off_pj;
-        // Sneak paths: in a selectorless array every *half-selected* cell
-        // leaks a fraction of a full read during each access [Liang,
-        // TED'10] — the total grows with the square of the array size,
-        // which is the paper's reason large MCAs lose (sections 1, 5.2).
-        if (sneak > 0.0) {
-          const double total_cells =
-              static_cast<double>(g.mca_count) *
-              static_cast<double>(cfg.mca_size * cfg.mca_size);
-          e.crossbar_pj +=
-              sneak * std::max(0.0, total_cells - driven_cells) * cell_off_pj;
-        }
-        ev.mca_activations += g.mca_count;
-        if (cell) {
-          cell->mca_reads += g.mca_count;
-          cell->active_rows += active * g.mca_count;
-        }
-        // The iBUFF feeds all N row drivers of each array regardless of how
-        // many rows carry mapped synapses, and every physical column's
-        // sense/interface path cycles on a read, used or not.
-        ev.buffer_bits += g.mca_count * cfg.mca_size;
-        e.control_pj += static_cast<double>(g.mca_count) * d.mca_control_pj +
-                        static_cast<double>(g.mca_count * cfg.mca_size) *
-                            d.column_interface_pj;
-        ev.neuron_integrations += g.cols_used;
-      }
-
-      const std::size_t fires = out_vec.count();
-      ev.neuron_fires += fires;
-      if (cell) cell->neuron_fires = fires;
-
-      if ((layer_active || !cfg.event_driven) &&
-          lm.ccu_transfers_per_neuron > 0)
-        ev.ccu_transfers += li.neurons * lm.ccu_transfers_per_neuron;
-
-      // -- output transfer toward the next layer (or off-chip) -----------
-      const noc::Route& route = routes_.boundaries[l + 1];
-      const std::size_t total = out_vec.word_count();
-      const std::size_t nz = nonzero_words(out_vec);
-      const std::size_t sent = cfg.event_driven ? nz : total;
-      const std::size_t zeros = cfg.event_driven ? total - nz : 0;
-      const bool via_bus = route.uses_bus;
-      if (via_bus) {
-        ev.bus_words += sent;
-        ev.sram_writes += sent;
-        ev.sram_reads += sent;
-        ev.bus_skips += zeros;
-        e.control_pj += d.gcu_event_pj;  // event flag + tagged broadcast
-      } else {
-        ev.switch_flits += sent;
-        ev.switch_skips += zeros;
-      }
-      if (cell) {
-        cell->words_sent += sent;
-        cell->words_skipped += zeros;
-      }
-      // oBUFF write+read of every sent flit plus a tBUFF address lookup.
-      ev.buffer_bits += sent * (2 * static_cast<std::size_t>(t.flit_bits) + 16);
-
-      const double compute_c =
-          (layer_active || !cfg.event_driven)
-              ? static_cast<double>(lm.mux_cycles) + 1.0
-              : 0.0;
-      // Event fidelity: the transfer is injected when the stage's compute
-      // retires, so congestion on a shared resource shows up as stall.
-      const noc::Transport tr =
-          fabric ? fabric->transfer(route, sent, zeros, compute_c)
-                 : noc::analytic_transfer(route, sent, zeros, cfg, nstats);
-      // Analytic keeps the historical overlap (max); the event fabric is
-      // store-and-forward after compute.
-      const double stage = fabric ? compute_c + tr.cycles
-                                  : std::max(compute_c, tr.cycles);
-      stage_max = std::max(stage_max, stage);
-      cycles_serial += compute_c + tr.cycles;
-      cycles_compute += compute_c;
-      cycles_transport += tr.cycles - tr.stall_cycles;
-      cycles_stall += tr.stall_cycles;
-    }
-
-    cycles_pipelined += stage_max;
+    const noc::Transport tr =
+        fabric ? fabric->transfer(route, sent, zeros, 0.0)
+               : noc::analytic_transfer(route, sent, zeros, cfg, nstats);
+    stage_max = std::max(stage_max, tr.cycles);
+    lane.cycles_serial += tr.cycles;
+    lane.cycles_transport += tr.cycles - tr.stall_cycles;
+    lane.cycles_stall += tr.stall_cycles;
   }
 
-  if (fabric) nstats = fabric->stats();
+  for (std::size_t l = 0; l < topology_.layer_count(); ++l) {
+    const snn::LayerInfo& li = topology_.layers()[l];
+    const LayerMapping& lm = mapping_.layers[l];
+    const SpikeVector& in_vec = trace.layers[l][step];
+    const SpikeVector& out_vec = trace.layers[l + 1][step];
+
+    StepEvents* cell = stream ? &stream->at(step, l + 1) : nullptr;
+
+    bool layer_active = false;
+    const std::vector<GroupConsts>& consts = group_consts_[l];
+    for (std::size_t gi = 0; gi < lm.groups.size(); ++gi) {
+      const McaGroup& g = lm.groups[gi];
+      const GroupConsts& gc = consts[gi];
+      const std::size_t active = active_in_slice(g.slice, li.in_shape, in_vec);
+      if (active == 0 && cfg.event_driven) {
+        ev.mca_skips += g.mca_count;
+        if (cell) cell->mca_skips += g.mca_count;
+        continue;
+      }
+      layer_active = layer_active || active > 0;
+      const double fraction =
+          gc.bits != 0.0 ? static_cast<double>(active) / gc.bits : 0.0;
+      // Programmed cells on driven rows dissipate at the mean programmed
+      // conductance; the *unmapped* crosspoints of a driven row still sit
+      // at G_off and leak V^2*G_off*t each — the physical cost of poor
+      // utilisation that makes oversized MCAs lose on sparse (CNN)
+      // connectivity (paper section 5.2, Fig. 12(c)).
+      const double driven_rows = fraction * gc.driven_scale;
+      const double driven_cells = driven_rows * costs.mca_size_d;
+      const double used_cells = fraction * gc.synapses;
+      e.crossbar_pj += used_cells * cell_pj +
+                       std::max(0.0, driven_cells - used_cells) * cell_off_pj;
+      // Sneak paths: in a selectorless array every *half-selected* cell
+      // leaks a fraction of a full read during each access [Liang,
+      // TED'10] — the total grows with the square of the array size,
+      // which is the paper's reason large MCAs lose (sections 1, 5.2).
+      if (sneak > 0.0) {
+        e.crossbar_pj +=
+            sneak * std::max(0.0, gc.total_cells - driven_cells) * cell_off_pj;
+      }
+      ev.mca_activations += g.mca_count;
+      if (cell) {
+        cell->mca_reads += g.mca_count;
+        cell->active_rows += active * g.mca_count;
+      }
+      // The iBUFF feeds all N row drivers of each array regardless of how
+      // many rows carry mapped synapses, and every physical column's
+      // sense/interface path cycles on a read, used or not.
+      ev.buffer_bits += gc.buffer_bits;
+      e.control_pj += gc.control_pj;
+      ev.neuron_integrations += g.cols_used;
+    }
+
+    const std::size_t fires = out_vec.count();
+    ev.neuron_fires += fires;
+    if (cell) cell->neuron_fires = fires;
+
+    if ((layer_active || !cfg.event_driven) && lm.ccu_transfers_per_neuron > 0)
+      ev.ccu_transfers += li.neurons * lm.ccu_transfers_per_neuron;
+
+    // -- output transfer toward the next layer (or off-chip) -----------
+    const noc::Route& route = routes_.boundaries[l + 1];
+    const std::size_t total = out_vec.word_count();
+    const std::size_t nz = nonzero_words(out_vec);
+    const std::size_t sent = cfg.event_driven ? nz : total;
+    const std::size_t zeros = cfg.event_driven ? total - nz : 0;
+    const bool via_bus = route.uses_bus;
+    if (via_bus) {
+      ev.bus_words += sent;
+      ev.sram_writes += sent;
+      ev.sram_reads += sent;
+      ev.bus_skips += zeros;
+      e.control_pj += d.gcu_event_pj;  // event flag + tagged broadcast
+    } else {
+      ev.switch_flits += sent;
+      ev.switch_skips += zeros;
+    }
+    if (cell) {
+      cell->words_sent += sent;
+      cell->words_skipped += zeros;
+    }
+    // oBUFF write+read of every sent flit plus a tBUFF address lookup.
+    ev.buffer_bits +=
+        sent * (2 * static_cast<std::size_t>(costs.t.flit_bits) + 16);
+
+    const double compute_c = (layer_active || !cfg.event_driven)
+                                 ? static_cast<double>(lm.mux_cycles) + 1.0
+                                 : 0.0;
+    // Event fidelity: the transfer is injected when the stage's compute
+    // retires, so congestion on a shared resource shows up as stall.
+    const noc::Transport tr =
+        fabric ? fabric->transfer(route, sent, zeros, compute_c)
+               : noc::analytic_transfer(route, sent, zeros, cfg, nstats);
+    // Analytic keeps the historical overlap (max); the event fabric is
+    // store-and-forward after compute.
+    const double stage =
+        fabric ? compute_c + tr.cycles : std::max(compute_c, tr.cycles);
+    stage_max = std::max(stage_max, stage);
+    lane.cycles_serial += compute_c + tr.cycles;
+    lane.cycles_compute += compute_c;
+    lane.cycles_transport += tr.cycles - tr.stall_cycles;
+    lane.cycles_stall += tr.stall_cycles;
+  }
+
+  lane.cycles_pipelined += stage_max;
+}
+
+void Executor::finish_lane(const ReplayCosts& costs, LaneAccum& lane) const {
+  RunReport& report = lane.report;
+  EnergyBreakdown& e = report.energy;
+  const EventCounts& ev = report.events;
+  const tech::DigitalCosts& d = costs.d;
+
+  if (lane.fabric) report.noc = lane.fabric->stats();
+  const noc::NocStats& nstats = report.noc;
 
   // -- convert counters to energy ------------------------------------------
   e.neuron_pj +=
@@ -265,9 +303,9 @@ RunReport Executor::run(const snn::SpikeTrace& trace,
   e.comm_pj += static_cast<double>(ev.switch_flits) * d.switch_flit_pj +
                static_cast<double>(ev.bus_words) * d.bus_word_pj +
                static_cast<double>(ev.ccu_transfers) * d.ccu_transfer_pj +
-               static_cast<double>(ev.sram_reads) * sram.read_energy_pj() +
-               static_cast<double>(ev.sram_writes) * sram.write_energy_pj();
-  if (event_noc) {
+               static_cast<double>(ev.sram_reads) * costs.sram.read_energy_pj() +
+               static_cast<double>(ev.sram_writes) * costs.sram.write_energy_pj();
+  if (fidelity_ == noc::Fidelity::kEvent) {
     // Hierarchical traversal energy the flat model folds into one hop:
     // every H-tree level crossed, and every mesh switch beyond the first,
     // costs one more flit traversal (docs/noc.md).
@@ -275,16 +313,16 @@ RunReport Executor::run(const snn::SpikeTrace& trace,
         nstats.mesh.hops > nstats.mesh.words
             ? nstats.mesh.hops - nstats.mesh.words
             : 0;
-    e.comm_pj += static_cast<double>(nstats.tree.hops + extra_mesh) *
-                 d.switch_flit_pj;
+    e.comm_pj +=
+        static_cast<double>(nstats.tree.hops + extra_mesh) * d.switch_flit_pj;
   }
 
-  report.perf.clock_mhz = t.resparc_clock_mhz;
-  report.perf.cycles_pipelined = cycles_pipelined;
-  report.perf.cycles_serial = cycles_serial;
-  report.perf.cycles_compute = cycles_compute;
-  report.perf.cycles_transport = cycles_transport;
-  report.perf.cycles_stall = cycles_stall;
+  report.perf.clock_mhz = costs.t.resparc_clock_mhz;
+  report.perf.cycles_pipelined = lane.cycles_pipelined;
+  report.perf.cycles_serial = lane.cycles_serial;
+  report.perf.cycles_compute = lane.cycles_compute;
+  report.perf.cycles_transport = lane.cycles_transport;
+  report.perf.cycles_stall = lane.cycles_stall;
 
   // Leakage integrates over the steady-state (pipelined) latency: in
   // throughput mode the chip retires one classification per pipelined
@@ -292,12 +330,93 @@ RunReport Executor::run(const snn::SpikeTrace& trace,
   // The leaking silicon is the deployed column periphery (crossbars are
   // non-volatile), so idle power scales with mapped arrays x columns.
   const double leak_w =
-      static_cast<double>(mapping_.total_mcas * cfg.mca_size) *
+      static_cast<double>(mapping_.total_mcas * costs.cfg.mca_size) *
           d.mca_column_leak_w +
-      sram.leakage_w();
+      costs.sram.leakage_w();
   e.leakage_pj += leak_w * report.perf.latency_pipelined_ns() * 1e3;  // W*ns -> pJ
+}
 
-  return report;
+RunReport Executor::run(const snn::SpikeTrace& trace) const {
+  return run(trace, nullptr);
+}
+
+RunReport Executor::run(const snn::SpikeTrace& trace,
+                        EventStream* stream) const {
+  require(trace.layer_count() == topology_.layer_count() + 1,
+          "executor: trace does not match topology");
+  const std::size_t T = trace.timesteps();
+  require(T > 0, "executor: empty trace");
+
+  const ReplayCosts costs = make_costs();
+
+  LaneAccum lane;
+  lane.report.classifications = 1;
+  // The event fabric keeps FIFO queues and per-resource clocks; the
+  // analytic path is pure counter arithmetic (zero-allocation steady
+  // state, tests/test_allocation.cpp) through noc::analytic_transfer.
+  if (fidelity_ == noc::Fidelity::kEvent)
+    lane.fabric.emplace(costs.cfg, mapping_.total_neurocells);
+  if (stream) {
+    *stream = EventStream(T, topology_.layer_count() + 1);
+    lane.stream = stream;
+  }
+
+  for (std::size_t step = 0; step < T; ++step)
+    step_lane(trace, step, costs, lane);
+
+  finish_lane(costs, lane);
+  return lane.report;
+}
+
+void Executor::run_each(std::span<const snn::SpikeTrace> traces,
+                        std::span<RunReport> reports) const {
+  require(traces.size() == reports.size(),
+          "executor: run_each needs one report slot per trace");
+  const ReplayCosts costs = make_costs();
+
+  std::vector<LaneAccum> lanes(traces.size());
+  std::size_t max_T = 0;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    require(traces[i].layer_count() == topology_.layer_count() + 1,
+            "executor: trace does not match topology");
+    require(traces[i].timesteps() > 0, "executor: empty trace");
+    max_T = std::max(max_T, traces[i].timesteps());
+    lanes[i].report.classifications = 1;
+    if (fidelity_ == noc::Fidelity::kEvent)
+      lanes[i].fabric.emplace(costs.cfg, mapping_.total_neurocells);
+  }
+
+  // Steps outer, lanes inner: within one lane the stage order per step is
+  // exactly run()'s, so every float accumulator sees the same addition
+  // sequence — bit-for-bit identical reports — while the route/cost
+  // lookups of a step are amortized over the whole batch.
+  for (std::size_t step = 0; step < max_T; ++step)
+    for (std::size_t i = 0; i < traces.size(); ++i)
+      if (step < traces[i].timesteps())
+        step_lane(traces[i], step, costs, lanes[i]);
+
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    finish_lane(costs, lanes[i]);
+    reports[i] = std::move(lanes[i].report);
+  }
+}
+
+RunReport Executor::run_batched(std::span<const snn::SpikeTrace> traces) const {
+  require(!traces.empty(), "executor: no traces");
+  std::vector<RunReport> reports(traces.size());
+  run_each(traces, reports);
+  RunReport total;
+  for (const RunReport& r : reports) {
+    total.energy += r.energy;
+    total.events += r.events;
+    total.perf += r.perf;
+    total.noc += r.noc;
+    total.classifications += r.classifications;
+  }
+  const double n = static_cast<double>(total.classifications);
+  total.energy /= n;
+  total.perf /= n;
+  return total;
 }
 
 RunReport Executor::run_all(std::span<const snn::SpikeTrace> traces) const {

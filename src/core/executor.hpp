@@ -67,6 +67,23 @@ class Executor {
   RunReport run_all(std::span<const snn::SpikeTrace> traces,
                     EventStream* stream) const;
 
+  /// Batched replay, trace-per-lane: retires step `s` of every trace
+  /// before step `s+1` of any, so the per-boundary route lookups, layer
+  /// metadata and technology cost constants are fetched once per step
+  /// for the whole batch instead of once per trace.  Each lane keeps its
+  /// own accumulators (and, under event fidelity, its own NoC fabric),
+  /// so `reports[i]` is bit-for-bit identical to run(traces[i]) — the
+  /// packed execution mode's throughput lever (docs/execution.md).
+  /// Lanes may have different lengths; `reports.size()` must equal
+  /// `traces.size()`.
+  void run_each(std::span<const snn::SpikeTrace> traces,
+                std::span<RunReport> reports) const;
+
+  /// run_each followed by the run_all reduction (sum in trace order,
+  /// then average energy/perf per classification): bit-for-bit
+  /// identical to run_all(traces).
+  RunReport run_batched(std::span<const snn::SpikeTrace> traces) const;
+
   const Mapping& mapping() const { return mapping_; }
 
   /// The per-boundary route table transfers travel on.
@@ -76,16 +93,48 @@ class Executor {
   noc::Fidelity fidelity() const { return fidelity_; }
 
  private:
+  /// Technology cost constants hoisted out of the replay loops (defined in
+  /// executor.cpp); built once per run()/run_each() call.
+  struct ReplayCosts;
+  /// Per-trace accumulator state of one replay lane (defined in
+  /// executor.cpp): the report being built, the cycle tallies, and the
+  /// lane's optional event-fidelity fabric.
+  struct LaneAccum;
+
+  ReplayCosts make_costs() const;
+  /// Retires one timestep of one lane — the shared per-step body of run()
+  /// and run_each(), so solo and batched replays are the same code path.
+  void step_lane(const snn::SpikeTrace& trace, std::size_t step,
+                 const ReplayCosts& costs, LaneAccum& lane) const;
+  /// Converts a finished lane's event counters to energy and fills the
+  /// perf/leakage fields (the run() epilogue).
+  void finish_lane(const ReplayCosts& costs, LaneAccum& lane) const;
+
   /// Spikes inside an input slice, given the layer's input spike vector.
   std::size_t active_in_slice(const InputSlice& slice, const Shape3& in_shape,
                               const snn::SpikeVector& spikes) const;
   /// Total bits spanned by a slice (denominator of the active fraction).
   std::size_t slice_bits(const InputSlice& slice, const Shape3& in_shape) const;
 
+  /// Per-group constants of the replay inner loop, precomputed at
+  /// construction so step_lane performs no integer->double conversion or
+  /// per-group multiply on the hot path.  Every field is the exact value
+  /// the loop used to recompute per step (same operands, same operations),
+  /// so replay results are bit-for-bit unchanged.
+  struct GroupConsts {
+    double bits = 0.0;          ///< slice_bits (fraction denominator)
+    double driven_scale = 0.0;  ///< rows_used * mca_count
+    double synapses = 0.0;      ///< crosspoints actually programmed
+    double total_cells = 0.0;   ///< mca_count * mca_size^2 (sneak term)
+    double control_pj = 0.0;    ///< control energy of one group activation
+    std::size_t buffer_bits = 0;  ///< iBUFF bits fed per activation
+  };
+
   const snn::Topology& topology_;
   const Mapping& mapping_;
   noc::RouteTable routes_;
   noc::Fidelity fidelity_ = noc::Fidelity::kAnalytic;
+  std::vector<std::vector<GroupConsts>> group_consts_;  ///< [layer][group]
 };
 
 }  // namespace resparc::core

@@ -1,7 +1,9 @@
 #include "core/mca.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.hpp"
 #include "common/kernels.hpp"
@@ -41,13 +43,24 @@ std::size_t Mca::accumulate(const snn::SpikeVector& layer_input,
   std::size_t active = 0;
   double energy = 0.0;
   const double mean_cell = device_.mean_cell_read_energy_pj();
-  for (std::size_t r = 0; r < rows_used_; ++r) {
-    const std::size_t idx = input_offset_ + r;
-    if (idx >= layer_input.size() || !layer_input.get(idx)) continue;
-    ++active;
-    kernels::row_add(acc.data(), weights_.row(r).data(), cols_used_);
-    // Differential pair: both devices of the row conduct on a spike.
-    energy += 2.0 * mean_cell * static_cast<double>(cols_used_);
+  // Walk the packed spike words directly (64 rows per load) instead of
+  // probing one bit per row: active rows decode in ascending order, so the
+  // row_add sequence — and the per-row energy accumulation — is bit-for-bit
+  // what the per-row scan produced.  Bits past the input vector's end are
+  // zero by SpikeVector's tail invariant.
+  for (std::size_t base = 0; base < rows_used_; base += 64) {
+    std::uint64_t word = layer_input.window(input_offset_ + base);
+    const std::size_t chunk = rows_used_ - base;
+    if (chunk < 64) word &= (std::uint64_t{1} << chunk) - 1;
+    while (word) {
+      const std::size_t r =
+          base + static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      ++active;
+      kernels::row_add(acc.data(), weights_.row(r).data(), cols_used_);
+      // Differential pair: both devices of the row conduct on a spike.
+      energy += 2.0 * mean_cell * static_cast<double>(cols_used_);
+    }
   }
   last_energy_pj_ = energy;
   if (active > 0) {

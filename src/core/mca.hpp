@@ -39,7 +39,11 @@ class Mca {
 
   /// Computes partial sums for the mapped columns from the layer's input
   /// spikes (only this MCA's row slice is consulted).  Adds into `acc`.
-  /// Returns the number of active rows (0 means the read was skippable).
+  /// Active rows are decoded straight from the input's packed 64-bit
+  /// words (ascending, via SpikeVector::window), so the accumulation
+  /// order — and hence the float result — matches a per-row bit scan
+  /// exactly.  Returns the number of active rows (0 means the read was
+  /// skippable).
   std::size_t accumulate(const snn::SpikeVector& layer_input,
                          std::span<float> acc);
 

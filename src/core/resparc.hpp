@@ -92,6 +92,17 @@ class ResparcChip {
   RunReport execute(std::span<const snn::SpikeTrace> traces,
                     EventStream* stream) const;
 
+  /// Batched (trace-per-lane) replay: bit-for-bit the report of
+  /// execute(traces), produced by one pass over the route table
+  /// (Executor::run_batched — the "+packed" execution mode's path).
+  RunReport execute_batched(std::span<const snn::SpikeTrace> traces) const;
+
+  /// Batched replay keeping the per-trace reports: `reports[i]` is
+  /// bit-for-bit execute(traces[i]).  `reports` must have one slot per
+  /// trace.
+  void execute_each(std::span<const snn::SpikeTrace> traces,
+                    std::span<RunReport> reports) const;
+
  private:
   ResparcConfig config_;
   noc::Fidelity fidelity_ = noc::Fidelity::kAnalytic;

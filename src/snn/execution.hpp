@@ -13,13 +13,16 @@ namespace resparc::snn {
 enum class ExecutionMode {
   kDense,   ///< per-timestep dense buffers: every neuron visited every step
   kSparse,  ///< AER event path (snn/sparse_engine.hpp): cost scales with spikes
+  kPacked,  ///< bit-packed word datapath + trace-per-lane batched replay
+            ///< (popcount/mask kernels, docs/performance.md); results are
+            ///< bit-for-bit identical to dense (test-enforced)
 };
 
-/// "dense" / "sparse" — the names the api registry's "+<mode>" key suffix
-/// and bench output use.
+/// "dense" / "sparse" / "packed" — the names the api registry's "+<mode>"
+/// key suffix and bench output use.
 std::string to_string(ExecutionMode mode);
 
-/// Parses "dense"/"sparse"; returns false for anything else.
+/// Parses "dense"/"sparse"/"packed"; returns false for anything else.
 bool parse_execution_mode(const std::string& text, ExecutionMode& out);
 
 }  // namespace resparc::snn

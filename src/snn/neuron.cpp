@@ -32,6 +32,43 @@ std::size_t IfPopulation::step(std::span<const float> current,
   return fired;
 }
 
+std::size_t IfPopulation::step_packed(std::span<const float> current,
+                                      SpikeVector& out) {
+  if (current.size() != membrane_.size() || out.size() != membrane_.size())
+    throw ShapeError("IfPopulation::step_packed: size mismatch");
+  const float vth = static_cast<float>(params_.v_threshold);
+  const float vreset = static_cast<float>(params_.v_reset);
+  const float leak = static_cast<float>(params_.leak_per_step);
+  std::size_t fired = 0;
+  const std::size_t n = membrane_.size();
+  // Assemble each output word in a register and store it whole: the same
+  // per-neuron arithmetic as step(), with the byte store replaced by one
+  // bit OR (set_word masks the tail word, so the partial last word stays
+  // clean).
+  for (std::size_t base = 0; base < n; base += 64) {
+    const std::size_t chunk = std::min<std::size_t>(64, n - base);
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; j < chunk; ++j) {
+      const std::size_t i = base + j;
+      float v = membrane_[i] + current[i];
+      if (leak > 0.0f) v = v > leak ? v - leak : 0.0f;
+      if (v >= vth) {
+        word |= std::uint64_t{1} << j;
+        ++fired;
+        if (params_.subtractive_reset) {
+          v -= vth;
+          if (v < vreset) v = vreset;
+        } else {
+          v = vreset;
+        }
+      }
+      membrane_[i] = v;
+    }
+    out.set_word(base >> 6, word);
+  }
+  return fired;
+}
+
 void IfPopulation::step_at(std::span<const std::uint32_t> indices,
                            std::span<const float> current,
                            std::vector<std::uint32_t>& fired_out,

@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "snn/trace.hpp"
+
 namespace resparc::snn {
 
 /// Parameters of one layer's IF population.
@@ -34,6 +36,16 @@ class IfPopulation {
   /// Returns the number of neurons that fired.
   std::size_t step(std::span<const float> current,
                    std::span<std::uint8_t> spikes_out);
+
+  /// Packed variant of step(): identical membrane update and firing
+  /// decisions, but spikes go straight into `out`'s 64-bit words (one
+  /// SpikeVector::set_word per 64 neurons) instead of a byte buffer —
+  /// the producer side of the packed datapath (docs/performance.md).
+  /// `out` must be sized to the population; every word is fully
+  /// overwritten, so no stale bit survives from a previous step.
+  /// Returns the number of neurons that fired.  Bit-for-bit the same
+  /// spikes and membranes as step() (tests/test_differential.cpp).
+  std::size_t step_packed(std::span<const float> current, SpikeVector& out);
 
   /// Sparse variant of step(): integrates `current` for just the neurons
   /// named in `indices` (which must be duplicate-free) and appends every

@@ -21,6 +21,7 @@
 
 #include "common/matrix.hpp"
 #include "snn/topology.hpp"
+#include "snn/trace.hpp"
 
 namespace resparc::snn {
 
@@ -33,5 +34,17 @@ void scatter_accumulate(const LayerInfo& li, const Matrix& w,
                         std::span<const std::uint32_t> in_active,
                         std::span<float> current, std::size_t part = 0,
                         std::size_t parts = 1);
+
+/// Packed-spike form of scatter_accumulate: input events arrive as the
+/// SpikeVector's 64-bit words instead of an index list, so no AER list is
+/// materialized.  Set bits are decoded in ascending order — the order
+/// append_active() emits — and dense layers run
+/// kernels::masked_row_accumulate straight off the words, so the result
+/// is bit-for-bit identical to the index-list overload on the same spike
+/// pattern (tests/test_differential.cpp).  This is the scatter of the
+/// "+packed" execution mode (docs/execution.md).
+void scatter_accumulate(const LayerInfo& li, const Matrix& w,
+                        const SpikeVector& in, std::span<float> current,
+                        std::size_t part = 0, std::size_t parts = 1);
 
 }  // namespace resparc::snn

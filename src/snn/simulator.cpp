@@ -11,7 +11,12 @@
 namespace resparc::snn {
 
 std::string to_string(ExecutionMode mode) {
-  return mode == ExecutionMode::kSparse ? "sparse" : "dense";
+  switch (mode) {
+    case ExecutionMode::kSparse: return "sparse";
+    case ExecutionMode::kPacked: return "packed";
+    case ExecutionMode::kDense: break;
+  }
+  return "dense";
 }
 
 bool parse_execution_mode(const std::string& text, ExecutionMode& out) {
@@ -21,6 +26,10 @@ bool parse_execution_mode(const std::string& text, ExecutionMode& out) {
   }
   if (text == "sparse") {
     out = ExecutionMode::kSparse;
+    return true;
+  }
+  if (text == "packed") {
+    out = ExecutionMode::kPacked;
     return true;
   }
   return false;
@@ -34,6 +43,11 @@ Simulator::Simulator(const Network& net, SimConfig config)
   pool_fn_ = [this](std::size_t part, std::size_t /*worker*/) {
     scatter_accumulate(net_.topology().layers()[pool_job_layer_],
                        net_.layer(pool_job_layer_).weights, pool_job_active_,
+                       pool_job_current_, part, pool_parts_);
+  };
+  pool_packed_fn_ = [this](std::size_t part, std::size_t /*worker*/) {
+    scatter_accumulate(net_.topology().layers()[pool_job_layer_],
+                       net_.layer(pool_job_layer_).weights, *pool_job_packed_,
                        pool_job_current_, part, pool_parts_);
   };
 }
@@ -62,6 +76,20 @@ void Simulator::accumulate_active(std::size_t l,
     return;
   }
   scatter_accumulate(li, net_.layer(l).weights, active, current);
+}
+
+void Simulator::accumulate_packed(std::size_t l, const SpikeVector& in,
+                                  std::span<float> current) {
+  const LayerInfo& li = net_.topology().layers()[l];
+  if (pool_ != nullptr && pool_parts_ > 1 && li.neurons >= pool_min_outputs_ &&
+      !in.none()) {
+    pool_job_layer_ = l;
+    pool_job_packed_ = &in;
+    pool_job_current_ = current;
+    pool_->run_indexed(pool_parts_, pool_parts_, pool_packed_fn_);
+    return;
+  }
+  scatter_accumulate(li, net_.layer(l).weights, in, current);
 }
 
 void Simulator::ensure_dense_state() {
@@ -101,6 +129,8 @@ void Simulator::run(std::span<const float> image, Rng& rng, SimResult& out) {
   out.total_spikes = 0;
   if (config_.mode == ExecutionMode::kSparse)
     run_sparse(image, rng, out);
+  else if (config_.mode == ExecutionMode::kPacked)
+    run_packed(image, rng, out);
   else
     run_dense(image, rng, out);
   out.predicted_class = static_cast<std::size_t>(std::distance(
@@ -145,6 +175,45 @@ void Simulator::run_dense(std::span<const float> image, Rng& rng,
   }
 }
 
+void Simulator::run_packed(std::span<const float> image, Rng& rng,
+                           SimResult& result) {
+  const Topology& topo = net_.topology();
+  ensure_dense_state();
+
+  const std::size_t T = config_.timesteps;
+  if (config_.record_trace) {
+    result.trace.layers.resize(topo.layer_count() + 1);
+    for (auto& lt : result.trace.layers) lt.reserve(T);
+  }
+
+  encoder_.encode_into(image, T, rng, input_spikes_);
+
+  // Size the per-layer word buffers once per presentation; step_packed
+  // fully overwrites every word each step, so reset() is only needed to
+  // establish the size (reset on an already-sized vector reuses storage).
+  for (std::size_t l = 0; l < topo.layer_count(); ++l)
+    prev_holder_[l].reset(topo.layers()[l].neurons);
+
+  for (std::size_t t = 0; t < T; ++t) {
+    const SpikeVector* prev = &input_spikes_[t];
+    result.total_spikes += prev->count();
+    if (config_.record_trace) result.trace.layers[0].push_back(*prev);
+
+    for (std::size_t l = 0; l < topo.layer_count(); ++l) {
+      std::fill(currents_[l].begin(), currents_[l].end(), 0.0f);
+      accumulate_packed(l, *prev, currents_[l]);
+      pops_[l].step_packed(currents_[l], prev_holder_[l]);
+      prev = &prev_holder_[l];
+      result.total_spikes += prev->count();
+      if (config_.record_trace) result.trace.layers[l + 1].push_back(*prev);
+    }
+
+    const SpikeVector& out = prev_holder_.back();
+    for (std::size_t i = 0; i < out.size(); ++i)
+      if (out.get(i)) ++result.output_spike_counts[i];
+  }
+}
+
 void Simulator::run_sparse(std::span<const float> image, Rng& rng,
                            SimResult& result) {
   const Topology& topo = net_.topology();
@@ -172,8 +241,13 @@ void Simulator::run_sparse(std::span<const float> image, Rng& rng,
     if (config_.record_trace)
       result.trace.layers[0].push_back(input_spikes_[t]);
 
+    // Word-form view of the same spikes: saturated full-drive steps
+    // scatter straight from these packed words (see step_layer).
+    const SpikeVector* prev_vec = &input_spikes_[t];
     for (std::size_t l = 0; l < topo.layer_count(); ++l) {
-      const SpikeVector& out = engine.step_layer(l, active_in_, active_out_);
+      const SpikeVector& out =
+          engine.step_layer(l, active_in_, active_out_, prev_vec);
+      prev_vec = &out;
       active_in_.swap(active_out_);
       result.total_spikes += active_in_.size();
       if (config_.record_trace) result.trace.layers[l + 1].push_back(out);

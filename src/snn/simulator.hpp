@@ -38,7 +38,7 @@ struct SimConfig {
   std::size_t timesteps = 32;  ///< presentation length per classification
   EncoderConfig encoder{};     ///< input spike encoding
   bool record_trace = true;    ///< keep the packed trace (off for accuracy-only runs)
-  ExecutionMode mode = ExecutionMode::kDense;  ///< execution engine; the two
+  ExecutionMode mode = ExecutionMode::kDense;  ///< execution engine; all
                                                ///< modes are bit-for-bit
                                                ///< identical (test-enforced)
 };
@@ -95,6 +95,11 @@ class Simulator {
   void accumulate_active(std::size_t l, std::span<const std::uint32_t> active,
                          std::span<float> current);
 
+  /// Packed-word twin of accumulate_active: scatters straight from the
+  /// input SpikeVector's words (no AER list), same pool partitioning.
+  void accumulate_packed(std::size_t l, const SpikeVector& in,
+                         std::span<float> current);
+
   /// Builds (first run) or clears (reuse) the dense per-layer state.
   void ensure_dense_state();
 
@@ -102,6 +107,11 @@ class Simulator {
   void run_dense(std::span<const float> image, Rng& rng, SimResult& out);
   /// run() body for ExecutionMode::kSparse (snn/sparse_engine.hpp).
   void run_sparse(std::span<const float> image, Rng& rng, SimResult& out);
+  /// run() body for ExecutionMode::kPacked: dense stepping entirely on
+  /// 64-bit spike words (packed scatter in, IfPopulation::step_packed
+  /// out) — no per-step AER list or byte buffer.  Bit-for-bit identical
+  /// traces to run_dense (tests/test_differential.cpp).
+  void run_packed(std::span<const float> image, Rng& rng, SimResult& out);
 
   const Network& net_;
   SimConfig config_;
@@ -114,8 +124,12 @@ class Simulator {
   /// Pre-built pool job reading pool_job_*; reusing one std::function
   /// keeps the pooled steady state allocation-free.
   std::function<void(std::size_t, std::size_t)> pool_fn_;
+  /// Packed twin of pool_fn_, scattering from pool_job_packed_ instead of
+  /// the index list.
+  std::function<void(std::size_t, std::size_t)> pool_packed_fn_;
   std::size_t pool_job_layer_ = 0;                 ///< layer being scattered
   std::span<const std::uint32_t> pool_job_active_; ///< its input events
+  const SpikeVector* pool_job_packed_ = nullptr;   ///< packed-mode input
   std::span<float> pool_job_current_;              ///< its output buffer
 
   // Per-presentation scratch, hoisted so the steady state is

@@ -155,7 +155,7 @@ template void SparseEngine::accumulate<false>(
 
 const SpikeVector& SparseEngine::step_layer(
     std::size_t l, std::span<const std::uint32_t> in_active,
-    std::vector<std::uint32_t>& out_active) {
+    std::vector<std::uint32_t>& out_active, const SpikeVector* in_packed) {
   require(l < state_.size(), "sparse engine: layer out of range");
   LayerState& st = state_[l];
   ++st.epoch;
@@ -174,10 +174,18 @@ const SpikeVector& SparseEngine::step_layer(
       (st.all_touched ||
        in_active.size() * st.touches_per_event >= st.current.size());
   if (!in_active.empty()) {
-    if (full_drive)
-      accumulate<false>(l, in_active, st);
-    else
+    if (full_drive) {
+      // A saturated step visits every input event anyway; with the packed
+      // words at hand, decode them inline (same ascending order as the
+      // index list) instead of re-reading the AER indices.
+      if (in_packed != nullptr)
+        scatter_accumulate(net_.topology().layers()[l], net_.layer(l).weights,
+                           *in_packed, st.current);
+      else
+        accumulate<false>(l, in_active, st);
+    } else {
       accumulate<true>(l, in_active, st);
+    }
   }
 
   if (st.dense_fallback || full_drive) {

@@ -56,10 +56,15 @@ class SparseEngine {
   /// layer's ascending active-index list (its spikes in AER form); the
   /// returned vector (this layer's spikes) stays valid until the next
   /// step_layer call for the same layer.  `out_active` is cleared and
-  /// refilled with the layer's ascending active list.
+  /// refilled with the layer's ascending active list.  When `in_packed`
+  /// names the same spikes in word form, a saturated (full-drive) step
+  /// scatters straight from the packed words through the popcount/mask
+  /// kernels (snn/scatter.hpp packed overload) instead of the index
+  /// list — same event order, bit-for-bit identical currents.
   const SpikeVector& step_layer(std::size_t l,
                                 std::span<const std::uint32_t> in_active,
-                                std::vector<std::uint32_t>& out_active);
+                                std::vector<std::uint32_t>& out_active,
+                                const SpikeVector* in_packed = nullptr);
 
   /// Spikes emitted by layer `l` in its most recent step.
   std::size_t last_fired(std::size_t l) const {

@@ -55,8 +55,37 @@ class SpikeVector {
   /// Raw packed words (the trailing word's unused bits are zero).
   std::span<const std::uint64_t> words() const { return words_; }
 
+  /// Overwrites packed word `w` (bits [w*64, w*64+64) of the vector) in
+  /// one store — the word-granular producer of the packed datapath
+  /// (docs/performance.md).  Bits at and above size() are masked off
+  /// before the store, so a sloppy tail word can never plant stale bits
+  /// that would leak into count()/append_active()
+  /// (tests/test_trace.cpp enforces the tail invariant).
+  void set_word(std::size_t w, std::uint64_t bits) {
+    const std::size_t valid = neurons_ - (w << 6);  // bits in use in word w
+    if (valid < 64) bits &= (std::uint64_t{1} << valid) - 1;
+    words_[w] = bits;
+  }
+
+  /// 64-bit window starting at bit `begin`: bit j of the result is bit
+  /// `begin + j` of the vector; bits past size() read as zero.  The
+  /// unaligned word extraction the packed MCA read path uses (crossbar
+  /// slices start at arbitrary input offsets).
+  std::uint64_t window(std::size_t begin) const {
+    const std::size_t w = begin >> 6;
+    if (w >= words_.size()) return 0;
+    const std::size_t s = begin & 63;
+    std::uint64_t out = words_[w] >> s;
+    if (s != 0 && w + 1 < words_.size()) out |= words_[w + 1] << (64 - s);
+    return out;
+  }
+
   /// Number of set bits.
   std::size_t count() const;
+
+  /// Popcount over the packed words — identical to count(); the name the
+  /// packed-datapath call sites use (docs/performance.md).
+  std::size_t active_count() const { return count(); }
 
   /// True when no neuron spiked.
   bool none() const;

@@ -1,6 +1,8 @@
 #include "tech/crossbar_model.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.hpp"
 #include "common/kernels.hpp"
@@ -61,6 +63,32 @@ void CrossbarModel::read_currents(std::span<const std::uint8_t> spikes,
     if (!spikes[r]) continue;
     kernels::scaled_row_add(currents_out.data(), v, g_.data() + r * cols_,
                             cols_);
+  }
+  const double atten = worst_case_ir_attenuation();
+  if (atten < 1.0)
+    for (auto& i : currents_out) i *= atten;
+}
+
+void CrossbarModel::read_currents(std::span<const std::uint64_t> spike_words,
+                                  std::span<double> currents_out) const {
+  if (spike_words.size() < (rows_ + 63) / 64 || currents_out.size() != cols_)
+    throw ShapeError("CrossbarModel::read_currents: span size mismatch");
+  for (auto& i : currents_out) i = 0.0;
+  const double v = device_.params().read_voltage_v;
+  // Same ascending row order as the byte overload — identical float
+  // accumulation sequence; the tail word is masked so bits past rows()
+  // never select a row.
+  for (std::size_t base = 0; base < rows_; base += 64) {
+    std::uint64_t word = spike_words[base >> 6];
+    const std::size_t chunk = rows_ - base;
+    if (chunk < 64) word &= (std::uint64_t{1} << chunk) - 1;
+    while (word) {
+      const std::size_t r =
+          base + static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      kernels::scaled_row_add(currents_out.data(), v, g_.data() + r * cols_,
+                              cols_);
+    }
   }
   const double atten = worst_case_ir_attenuation();
   if (atten < 1.0)

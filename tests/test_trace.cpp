@@ -97,6 +97,48 @@ TEST(SpikeVector, TrailingBitsStayZero) {
   EXPECT_EQ(v.words()[1], 1u);
 }
 
+// Regression for the packed datapath's tail invariant: a full word
+// stored into the last (partial) word must have its out-of-range bits
+// masked BEFORE the store, or stale bits leak into count() /
+// append_active() / words() consumers.
+TEST(SpikeVector, SetWordMasksTailBits) {
+  SpikeVector v(70);  // 6 valid bits in word 1
+  v.set_word(1, ~std::uint64_t{0});
+  EXPECT_EQ(v.words()[1], 0x3fu);
+  EXPECT_EQ(v.count(), 6u);
+  std::vector<std::uint32_t> active;
+  v.append_active(active);
+  ASSERT_EQ(active.size(), 6u);
+  EXPECT_EQ(active.front(), 64u);
+  EXPECT_EQ(active.back(), 69u);
+
+  // A full word within range stores unmasked.
+  v.set_word(0, ~std::uint64_t{0});
+  EXPECT_EQ(v.words()[0], ~std::uint64_t{0});
+  EXPECT_EQ(v.count(), 70u);
+
+  // Exactly-full tail word: no masking either.
+  SpikeVector full(128);
+  full.set_word(1, ~std::uint64_t{0});
+  EXPECT_EQ(full.count(), 64u);
+}
+
+TEST(SpikeVector, WindowMatchesBitScan) {
+  SpikeVector v(150);
+  for (std::size_t i = 0; i < 150; i += 7) v.set(i);
+  for (std::size_t begin : {0u, 1u, 63u, 64u, 65u, 100u, 140u, 149u}) {
+    const std::uint64_t w = v.window(begin);
+    for (std::size_t j = 0; j < 64; ++j) {
+      const std::size_t i = begin + j;
+      const bool expected = i < v.size() && v.get(i);
+      EXPECT_EQ((w >> j) & 1u, expected ? 1u : 0u)
+          << "begin=" << begin << " j=" << j;
+    }
+  }
+  // Past the end: all zero.
+  EXPECT_EQ(v.window(192), 0u);
+}
+
 TEST(SpikeTrace, ActivityAndCounts) {
   SpikeTrace trace;
   trace.layers.resize(2);

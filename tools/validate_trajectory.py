@@ -27,7 +27,7 @@ import sys
 # Required numeric fields per tracked bench (rows may carry more).
 ROW_FIELDS = {
     "pipeline_throughput": ["threads", "simulate_tps", "execute_resparc_tps",
-                            "execute_cmos_tps"],
+                            "execute_resparc_packed_tps", "execute_cmos_tps"],
     "ablation_mapping_strategy": ["mca", "utilization", "mcas", "neurocells",
                                   "bus_boundaries", "energy_uj", "eps"],
     "bench_sparse_execution": ["rate", "input_sparsity", "mean_activity",
@@ -46,6 +46,18 @@ ROW_FIELDS = {
 # generous slack for shared-runner noise while still catching a
 # de-vectorized or de-blocked kernel, which lands near 1x.
 CONV_FORWARD_MIN_SPEEDUP = 2.0
+
+# The packed-datapath accumulate floor (docs/performance.md): decoding
+# set bits from 64-bit spike words must beat the byte-scan baseline by at
+# least this ratio in the ~99%-sparse event-driven regime.  A kernel that
+# regresses to per-row testing lands near 1x.
+PACKED_ACCUMULATE_MIN_SPEEDUP = 2.0
+
+# Fresh-run floor for the "+packed" batched replay relative to the
+# sequential per-trace executor at the same thread count: batching
+# amortizes program/route lookups, so it must never fall meaningfully
+# below the sequential path.
+PACKED_EXECUTE_MIN_RATIO = 0.8
 
 # Fresh CI runs re-measure wall clock; allow this much dip before calling
 # the sparse-throughput curve non-monotonic.
@@ -203,6 +215,35 @@ def validate_micro_kernel_semantics(results, path, errors):
         fail(errors, path,
              f"conv_forward speedup {conv[0].get('speedup')} below the "
              f"{CONV_FORWARD_MIN_SPEEDUP}x floor")
+    packed = [r for r in rows if r.get("kernel") == "masked_row_accumulate"]
+    if not packed:
+        fail(errors, path,
+             "micro_kernels must report a 'masked_row_accumulate' row")
+        return
+    if packed[0].get("speedup", 0.0) < PACKED_ACCUMULATE_MIN_SPEEDUP:
+        fail(errors, path,
+             f"masked_row_accumulate speedup {packed[0].get('speedup')} "
+             f"below the {PACKED_ACCUMULATE_MIN_SPEEDUP}x floor")
+
+
+def validate_pipeline_semantics(results, path, errors):
+    """The batched-replay acceptance property (docs/execution.md): the
+    "+packed" executor amortizes per-trace route/program lookups, so its
+    throughput must stay within PACKED_EXECUTE_MIN_RATIO of the
+    sequential replay at every thread count."""
+    needed = ("threads", "execute_resparc_tps", "execute_resparc_packed_tps")
+    rows = [r for r in results
+            if isinstance(r, dict) and all(k in r for k in needed)]
+    if len(rows) != len(results):
+        return  # field errors were already reported by validate_rows
+    for row in rows:
+        floor = PACKED_EXECUTE_MIN_RATIO * row["execute_resparc_tps"]
+        if row["execute_resparc_packed_tps"] < floor:
+            fail(errors, path,
+                 f"threads={row['threads']}: packed replay "
+                 f"{row['execute_resparc_packed_tps']:.1f} traces/s below "
+                 f"{PACKED_EXECUTE_MIN_RATIO}x the sequential replay "
+                 f"({row['execute_resparc_tps']:.1f} traces/s)")
 
 
 def validate_file(path, errors):
@@ -221,6 +262,8 @@ def validate_file(path, errors):
     validate_rows(doc, results, path, errors)
     if doc["bench"] == "bench_sparse_execution":
         validate_sparse_semantics(results, path, errors)
+    if doc["bench"] == "pipeline_throughput":
+        validate_pipeline_semantics(results, path, errors)
     if doc["bench"] == "micro_kernels":
         validate_micro_kernel_semantics(results, path, errors)
     if doc["bench"] == "bench_noc_contention":
