@@ -1,0 +1,113 @@
+// Fleet Monte-Carlo yield sweep — fault severity vs chip yield and
+// accuracy/energy spread (docs/reliability.md).
+//
+// Four fault populations (pristine through severe) are each sampled with
+// a fleet of seeded chip instances through api::run_fleet: every chip
+// compiles with the fault-aware repair pass, re-simulates the shared
+// eval set on its perturbed network, and replays the baseline traces for
+// energy.  The sweep reports the yield at a 90%-of-baseline accuracy
+// floor, nearest-rank accuracy quantiles and the uJ/classification
+// spread per population.  The zero-fault row is the harness's own
+// acceptance check: every pristine chip must reproduce the baseline
+// accuracy bit for bit (yield 1.0, acc_p50 == baseline), which
+// tools/validate_trajectory.py enforces on the committed snapshot and on
+// fresh CI runs alike.  Results go to stdout and
+// bench/trajectory/bench_fault_yield.json.
+//
+// Environment knobs:
+//   RESPARC_FLEET_CHIPS     chip instances per population (default 64)
+//   RESPARC_BENCH_TIMESTEPS presentation length           (default 8)
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/fleet.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace resparc;
+
+std::size_t fleet_chips() {
+  if (const char* env = std::getenv("RESPARC_FLEET_CHIPS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return 64;
+}
+
+/// One fault population of the sweep: `stuck_rate` splits 3:1 between
+/// stuck-off and stuck-on cells, `sigma` drives both the programming
+/// variation and (at half strength) the frozen read noise.
+struct Point {
+  double stuck_rate;
+  double sigma;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t chips = fleet_chips();
+  const std::size_t timesteps =
+      std::min<std::size_t>(bench::bench_timesteps(), 8);
+  const std::vector<Point> points = {
+      {0.0, 0.0}, {0.001, 0.05}, {0.005, 0.10}, {0.02, 0.20}};
+
+  std::printf("== fleet Monte-Carlo yield vs fault severity ==\n");
+  std::printf("(mnist-like MLP, %zu chips x %zu populations, MCA-64/paper, "
+              "floor 90%% of baseline)\n\n",
+              chips, points.size());
+
+  struct Row {
+    Point point;
+    api::FleetReport fleet;
+  };
+  std::vector<Row> rows;
+  for (const Point& point : points) {
+    api::FleetOptions opt;
+    opt.chips = chips;
+    opt.images = 8;
+    opt.timesteps = timesteps;
+    opt.faults.stuck_off_rate = 0.75 * point.stuck_rate;
+    opt.faults.stuck_on_rate = 0.25 * point.stuck_rate;
+    opt.faults.programming_sigma = point.sigma;
+    opt.faults.read_noise_sigma = 0.5 * point.sigma;
+    rows.push_back(Row{point, api::run_fleet(opt)});
+
+    const api::FleetReport& f = rows.back().fleet;
+    std::printf("stuck %6.4f sigma %4.2f | yield %5.1f%% | acc p05/p50/p95 "
+                "%.3f/%.3f/%.3f | uJ p50/p95 %.4f/%.4f\n",
+                point.stuck_rate, point.sigma, 100.0 * f.yield, f.acc_p05,
+                f.acc_p50, f.acc_p95, f.energy_p50_uj, f.energy_p95_uj);
+  }
+
+  std::ostringstream config;
+  config << "{\"chips_per_point\": " << chips << ", \"images\": " << 8
+         << ", \"timesteps\": " << timesteps
+         << ", \"accuracy_floor\": 0.9, \"mca\": 64, "
+         << "\"strategy\": \"paper\", \"seed\": 7}";
+  std::ostringstream metrics;
+  metrics << "{\"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const api::FleetReport& f = rows[i].fleet;
+    metrics << "    {\"chips\": " << f.chips.size()
+            << ", \"stuck_rate\": " << Table::num(rows[i].point.stuck_rate, 4)
+            << ", \"sigma\": " << Table::num(rows[i].point.sigma, 2)
+            << ", \"yield\": " << Table::num(f.yield, 6)
+            << ", \"acc_p05\": " << Table::num(f.acc_p05, 9)
+            << ", \"acc_p50\": " << Table::num(f.acc_p50, 9)
+            << ", \"acc_p95\": " << Table::num(f.acc_p95, 9)
+            << ", \"energy_p50_uj\": " << Table::num(f.energy_p50_uj, 9)
+            << ", \"energy_p95_uj\": " << Table::num(f.energy_p95_uj, 9)
+            << ", \"baseline_accuracy\": "
+            << Table::num(f.baseline_accuracy, 9) << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  metrics << "  ]}";
+
+  bench::write_trajectory("bench_fault_yield", config.str(), metrics.str());
+  return 0;
+}

@@ -53,7 +53,7 @@ double time_mode(const api::Workload& w, const snn::SimConfig& base,
   const auto start = Clock::now();
   for (std::size_t r = 0; r < repeats; ++r) {
     for (std::size_t i = 0; i < images; ++i) {
-      Rng rng(api::presentation_seed(7, i));
+      Rng rng(api::presentation_seed(bench::bench_seed(), i));
       snn::Simulator sim(w.network, cfg);
       (void)sim.run(w.test.images[i], rng);
     }
@@ -97,7 +97,7 @@ int main() {
       snn::SimConfig traced = cfg;
       traced.mode = snn::ExecutionMode::kSparse;
       for (std::size_t i = 0; i < images; ++i) {
-        Rng rng(api::presentation_seed(7, i));
+        Rng rng(api::presentation_seed(bench::bench_seed(), i));
         snn::Simulator sim(w.network, traced);
         activity.add(sim.run(w.test.images[i], rng).trace);
       }

@@ -24,6 +24,10 @@ std::size_t bench_timesteps() { return env_or("RESPARC_BENCH_TIMESTEPS", 32); }
 
 std::size_t bench_threads() { return env_or("RESPARC_BENCH_THREADS", 0); }
 
+std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(env_or("RESPARC_BENCH_SEED", 7));
+}
+
 api::PipelineOptions bench_options(std::uint64_t seed, double target_activity) {
   api::PipelineOptions options;
   options.images = bench_images();

@@ -34,8 +34,14 @@ std::size_t bench_timesteps();
 /// Pipeline workers (env RESPARC_BENCH_THREADS, default 0 = all cores).
 std::size_t bench_threads();
 
+/// Root seed every bench derives its random streams from (env
+/// RESPARC_BENCH_SEED, default 7).  Benches must not seed Rng ad hoc:
+/// draw per-purpose streams with stream_seed(bench_seed(), k) so one env
+/// knob re-rolls every bench coherently and streams never collide.
+std::uint64_t bench_seed();
+
 /// Pipeline options pre-loaded with the bench environment knobs.
-api::PipelineOptions bench_options(std::uint64_t seed = 7,
+api::PipelineOptions bench_options(std::uint64_t seed = bench_seed(),
                                    double target_activity = 0.10);
 
 /// Builds the workload for one Fig. 10 benchmark through api::Pipeline:

@@ -113,7 +113,7 @@ Row bench_conv_forward(std::size_t reps) {
   // The MNIST-CNN second conv layer (52ch 14x14 -> 64ch, 3x3 same): the
   // layer the ANN trainer spends its forward time in.
   const std::size_t ic = 52, ih = 14, iw = 14, oc = 64, k = 3, pad = 1;
-  Rng rng(11);
+  Rng rng(stream_seed(bench::bench_seed(), 0));
   std::vector<float> in(ic * ih * iw);
   for (auto& v : in) v = static_cast<float>(rng.uniform(0.0, 1.0));
   Matrix w(ic * k * k, oc);
@@ -140,7 +140,7 @@ Row bench_conv_forward(std::size_t reps) {
 Row bench_matvec(std::size_t reps) {
   // MNIST-MLP first layer shape (784 -> 800), dense activations.
   const std::size_t rows = 784, cols = 800;
-  Rng rng(12);
+  Rng rng(stream_seed(bench::bench_seed(), 1));
   Matrix w(rows, cols);
   for (float& v : w.flat()) v = static_cast<float>(rng.normal(0.0, 0.1));
   std::vector<float> x(rows);
@@ -167,7 +167,7 @@ Row bench_row_accumulate(std::size_t reps) {
   // accumulated onto the current buffer (one presentation step's worth,
   // repeated to get above timer resolution).
   const std::size_t rows = 784, cols = 800, iters = 64;
-  Rng rng(13);
+  Rng rng(stream_seed(bench::bench_seed(), 2));
   Matrix w(rows, cols);
   for (float& v : w.flat()) v = static_cast<float>(rng.normal(0.0, 0.1));
   std::vector<std::uint32_t> active;
@@ -205,7 +205,7 @@ Row bench_masked_row_accumulate(std::size_t reps) {
   // byte-scan the pre-packed engines effectively perform — test every
   // row's activity byte, accumulate the active ones.
   const std::size_t rows = 4096, cols = 800, iters = 16;
-  Rng rng(14);
+  Rng rng(stream_seed(bench::bench_seed(), 3));
   Matrix w(rows, cols);
   for (float& v : w.flat()) v = static_cast<float>(rng.normal(0.0, 0.1));
   std::vector<std::uint8_t> bytes(rows, 0);
@@ -250,7 +250,7 @@ Row bench_popcount_dot(std::size_t reps) {
   // scan (what per-neuron bookkeeping costs without the word datapath).
   const std::size_t bits = 1 << 20;
   const std::size_t words = bits / 64;
-  Rng rng(15);
+  Rng rng(stream_seed(bench::bench_seed(), 4));
   std::vector<std::uint64_t> a(words), b(words);
   for (auto& v : a) v = rng();
   for (auto& v : b) v = rng();

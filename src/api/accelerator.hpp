@@ -58,6 +58,11 @@ struct ExecutionReport {
   /// Backends without a transport model leave it empty.
   std::vector<std::pair<std::string, double>> latency_breakdown_ns;
 
+  /// Realised device-fault manifest of the chip instance the replay ran
+  /// on (RESPARC backend with ResparcConfig::faults enabled); absent on
+  /// fault-free runs and non-RESPARC backends (docs/reliability.md).
+  std::optional<tech::FaultManifest> faults;
+
   /// Native typed report when the producer is the RESPARC backend.
   std::optional<core::RunReport> resparc;
   /// Native typed report when the producer is the CMOS baseline backend.

@@ -28,6 +28,7 @@ ExecutionReport to_execution_report(const core::RunReport& report,
       {"transport", report.perf.cycles_transport * ns_per_cycle},
       {"noc_stall", report.perf.cycles_stall * ns_per_cycle},
   };
+  out.faults = report.faults;
   out.resparc = report;
   return out;
 }

@@ -1,0 +1,161 @@
+#include "api/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "api/backends.hpp"
+#include "api/pipeline.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "compile/compiler.hpp"
+#include "core/fault_injection.hpp"
+#include "snn/simulator.hpp"
+
+namespace resparc::api {
+
+namespace {
+
+// Salt separating the fleet's chip-seed stream from presentation seeds
+// and the fault model's own per-MCA streams.
+constexpr std::uint64_t kChipStreamSalt = 0xF1EE7ull;
+
+}  // namespace
+
+double nearest_rank(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  return values[rank - 1];
+}
+
+FleetReport run_fleet(const FleetOptions& options) {
+  require(options.chips > 0, "fleet: chips must be positive");
+  require(options.images > 0, "fleet: images must be positive");
+  require(options.timesteps > 0, "fleet: timesteps must be positive");
+  require(options.accuracy_floor >= 0.0, "fleet: accuracy_floor must be >= 0");
+  options.config.validate();
+  options.faults.validate();
+
+  FleetReport fleet;
+  fleet.options = options;
+  const snn::Topology topology =
+      options.topology ? *options.topology
+                       : snn::small_mlp_topology(options.dataset);
+
+  // Shared eval workload: one calibrated network, one traced image set.
+  // Every chip re-simulates the SAME images with the SAME per-
+  // presentation seeds, so accuracy differences are purely the fault
+  // perturbation — and a zero-fault chip reproduces the baseline bit
+  // for bit (tests/test_faults.cpp).
+  PipelineOptions po;
+  po.images = options.images;
+  po.timesteps = options.timesteps;
+  po.seed = options.seed;
+  po.threads = options.threads;
+  const Workload workload =
+      Pipeline(po).dataset(options.dataset).topology(topology).run();
+  fleet.baseline_accuracy = workload.accuracy;
+
+  {
+    ResparcBackend baseline(options.config, options.strategy);
+    baseline.load(topology);
+    const ExecutionReport report =
+        Pipeline::execute(baseline, workload.traces, 1);
+    fleet.baseline_energy_uj = report.energy_pj * 1e-6;
+  }
+
+  const std::uint64_t chip_stream =
+      stream_seed(options.seed, kChipStreamSalt);
+  const std::size_t eval = workload.labels.size();
+  fleet.chips.assign(options.chips, FleetChip{});
+
+  // Chip instances are independent Monte-Carlo samples: fan them over
+  // the pool (each slot is written by exactly one worker, so the report
+  // is identical for any thread count).
+  ThreadPool::global().run_indexed(
+      options.chips, options.threads, [&](std::size_t c, std::size_t) {
+        FleetChip& chip = fleet.chips[c];
+        core::ResparcConfig config = options.config;
+        config.faults = options.faults;
+        config.faults.enabled = true;
+        config.faults.chip_seed = stream_seed(chip_stream, c + 1);
+        chip.chip_seed = config.faults.chip_seed;
+        try {
+          // Fault-aware compile: the repair pass re-places around this
+          // chip instance's failed mPEs (or throws MappingError when
+          // the chip cannot host the network at all).
+          compile::Compiler compiler(config);
+          compile::CompiledProgram program =
+              compiler.compile(topology, options.strategy);
+
+          // Accuracy: perturb a copy of the calibrated network with
+          // this chip's materialized faults and re-simulate the shared
+          // eval set under the shared presentation seeds.
+          snn::Network net = workload.network;
+          core::perturb_network(net, program.mapping);
+          snn::SimConfig sim_config;
+          sim_config.timesteps = options.timesteps;
+          sim_config.record_trace = false;
+          snn::Simulator simulator(net, sim_config);
+          std::size_t correct = 0;
+          for (std::size_t i = 0; i < eval; ++i) {
+            Rng rng(presentation_seed(options.seed, i));
+            const snn::SimResult r =
+                simulator.run(workload.test.images[i], rng);
+            if (static_cast<int>(r.predicted_class) == workload.labels[i])
+              ++correct;
+          }
+          chip.accuracy =
+              static_cast<double>(correct) / static_cast<double>(eval);
+
+          // Energy: replay the baseline traces on the faulty chip (the
+          // spike statistics are held fixed at the fault-free workload;
+          // what varies is the per-cell read energy of this instance).
+          ResparcBackend backend(config, options.strategy);
+          backend.load_program(topology, program);
+          const ExecutionReport report =
+              Pipeline::execute(backend, workload.traces, 1);
+          chip.energy_uj = report.energy_pj * 1e-6;
+          if (report.faults) {
+            chip.failed_mpes = report.faults->failed_mpes.size();
+            chip.stuck_cells =
+                report.faults->stuck_off_cells + report.faults->stuck_on_cells;
+          }
+          chip.ok = true;
+        } catch (const Error&) {
+          // Unrepairable chip: a hard yield failure.
+          chip.ok = false;
+          chip.accuracy = 0.0;
+          chip.energy_uj = 0.0;
+        }
+      });
+
+  // Distribution roll-up.  Failed chips stay in the accuracy sample (as
+  // zeros — they ship nothing) but are excluded from the energy spread
+  // (they never ran).
+  std::vector<double> accuracies;
+  std::vector<double> energies;
+  accuracies.reserve(fleet.chips.size());
+  std::size_t yielded = 0;
+  const double floor = options.accuracy_floor * fleet.baseline_accuracy;
+  for (const FleetChip& chip : fleet.chips) {
+    accuracies.push_back(chip.accuracy);
+    if (chip.ok) energies.push_back(chip.energy_uj);
+    if (chip.ok && chip.accuracy >= floor) ++yielded;
+  }
+  fleet.yield =
+      static_cast<double>(yielded) / static_cast<double>(fleet.chips.size());
+  fleet.acc_p05 = nearest_rank(accuracies, 0.05);
+  fleet.acc_p50 = nearest_rank(accuracies, 0.50);
+  fleet.acc_p95 = nearest_rank(accuracies, 0.95);
+  fleet.energy_p50_uj = nearest_rank(energies, 0.50);
+  fleet.energy_p95_uj = nearest_rank(energies, 0.95);
+  return fleet;
+}
+
+}  // namespace resparc::api

@@ -1,0 +1,98 @@
+// Fleet Monte-Carlo yield harness (docs/reliability.md).
+//
+// A fault configuration describes a *population* of chips: every chip
+// seed draws its own stuck cells and conductance variations from the
+// device fault model (tech/nonideal.hpp).  run_fleet samples that
+// population — hundreds of seeded chip instances, each compiled with the
+// fault-aware repair pass, its network perturbed and re-simulated for
+// accuracy, and the baseline workload replayed for energy — and reports
+// the distribution: yield at an accuracy floor, accuracy quantiles,
+// energy-per-classification spread.
+//
+//   api::FleetOptions opt;
+//   opt.chips = 200;
+//   opt.faults.stuck_off_rate = 0.002;
+//   opt.faults.programming_sigma = 0.1;
+//   api::FleetReport fleet = api::run_fleet(opt);
+//   // fleet.yield, fleet.acc_p50, fleet.energy_p95_uj, ...
+//
+// Determinism: everything derives from FleetOptions::seed via SplitMix64
+// streams — the eval images, per-presentation simulation RNG (shared by
+// every chip, so a zero-fault chip reproduces the baseline accuracy bit
+// for bit) and the per-chip fault seeds.  Identical options give an
+// identical report for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "snn/benchmarks.hpp"
+#include "snn/topology.hpp"
+#include "tech/nonideal.hpp"
+
+namespace resparc::api {
+
+/// Knobs of one fleet sweep.
+struct FleetOptions {
+  std::size_t chips = 200;      ///< chip instances sampled
+  std::uint64_t seed = 7;       ///< master seed (workload + chip streams)
+  std::size_t images = 16;      ///< eval presentations per chip
+  std::size_t timesteps = 8;    ///< presentation length
+  std::size_t threads = 0;      ///< chip-level workers (0 = all cores)
+  /// A chip yields when its accuracy reaches `accuracy_floor *
+  /// baseline_accuracy` (relative floor: independent of how good the
+  /// random-init workload happens to be).
+  double accuracy_floor = 0.9;
+  /// Eval dataset the shared workload is synthesised from.
+  snn::DatasetKind dataset = snn::DatasetKind::kMnistLike;
+  /// Network shape (default: small_mlp_topology(dataset)).
+  std::optional<snn::Topology> topology;
+  /// Fabric configuration every chip compiles against.
+  core::ResparcConfig config = core::config_with_mca(64);
+  /// Mapping strategy of the compile (docs/compile.md).
+  std::string strategy = "paper";
+  /// Fault population template.  `enabled` and `chip_seed` are
+  /// overridden per chip (chip c draws stream_seed(seed, c + 1)); the
+  /// rates/sigmas/threshold describe the population.
+  tech::FaultConfig faults{};
+};
+
+/// One sampled chip instance.
+struct FleetChip {
+  std::uint64_t chip_seed = 0;   ///< fault stream identity
+  bool ok = false;               ///< compiled (repair found a placement)
+  double accuracy = 0.0;         ///< eval accuracy of the perturbed network
+  double energy_uj = 0.0;        ///< replay energy per classification
+  std::size_t failed_mpes = 0;   ///< mPEs over the stuck-density threshold
+  std::size_t stuck_cells = 0;   ///< stuck-at cells across scanned slots
+};
+
+/// Distribution summary of one fleet sweep.
+struct FleetReport {
+  FleetOptions options;           ///< the sweep's knobs (echoed)
+  double baseline_accuracy = 0.0; ///< fault-free workload accuracy
+  double baseline_energy_uj = 0.0;///< fault-free replay energy/classification
+  std::vector<FleetChip> chips;   ///< per-chip samples, seed order
+  double yield = 0.0;             ///< fraction over the accuracy floor
+  double acc_p05 = 0.0;           ///< accuracy 5th percentile (nearest-rank)
+  double acc_p50 = 0.0;           ///< accuracy median (nearest-rank)
+  double acc_p95 = 0.0;           ///< accuracy 95th percentile (nearest-rank)
+  double energy_p50_uj = 0.0;     ///< energy/classification median, uJ
+  double energy_p95_uj = 0.0;     ///< energy/classification p95, uJ
+};
+
+/// Runs the sweep: builds the shared eval workload once, then samples
+/// `options.chips` fault-seeded chip instances in parallel.  A chip
+/// whose repair cannot place the network (MappingError) counts as a
+/// yield failure with zero accuracy.  Throws ConfigError for invalid
+/// options (zero chips/images, bad fault rates).
+FleetReport run_fleet(const FleetOptions& options);
+
+/// Nearest-rank quantile of an UNSORTED sample set (copies + sorts);
+/// p in [0, 1].  Exposed for the bench/CLI table rendering.
+double nearest_rank(std::vector<double> values, double p);
+
+}  // namespace resparc::api

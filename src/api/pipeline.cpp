@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "data/synthetic.hpp"
@@ -18,10 +19,9 @@ namespace resparc::api {
 std::uint64_t presentation_seed(std::uint64_t seed, std::size_t index) {
   // SplitMix64 over the (seed, index) pair: decorrelated per-presentation
   // streams that do not depend on simulation order or thread schedule.
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(index) + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
+  // Delegates to the shared stream discipline in common/rng.hpp
+  // (bit-identical to the historical inline expansion).
+  return stream_seed(seed, static_cast<std::uint64_t>(index));
 }
 
 // ------------------------------------------------------------- comparison --

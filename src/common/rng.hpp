@@ -107,4 +107,17 @@ class Rng {
   bool has_cached_ = false;
 };
 
+/// Deterministic sub-stream seed: one SplitMix64 finalisation over
+/// (seed, index).  Streams for distinct indices are decorrelated, so one
+/// master seed fans out into any number of independent Rng instances —
+/// per-presentation spike encoding (api::presentation_seed delegates
+/// here), per-MCA fault draws (tech::FaultModel), per-chip fleet
+/// instances and the bench kernels all share this one discipline.
+inline std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace resparc

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "compile/cost_model.hpp"
+#include "compile/repair.hpp"
 #include "verify/verifier.hpp"
 
 namespace resparc::compile {
@@ -56,6 +57,12 @@ CompiledProgram Compiler::run_passes(const snn::Topology& topology,
 
   // -- place -----------------------------------------------------------------
   strategy.place(program.mapping, config_);
+
+  // -- repair ----------------------------------------------------------------
+  // Fault-aware re-placement around failed mPEs (no-op unless the config
+  // injects faults with repair enabled); runs before routing so routes
+  // and costs describe the repaired placement (docs/reliability.md).
+  repair_placement(program.mapping);
 
   // -- route -----------------------------------------------------------------
   // The real routing pass: one Ml-NoC Route per layer boundary (input

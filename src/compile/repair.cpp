@@ -1,0 +1,86 @@
+#include "compile/repair.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tech/nonideal.hpp"
+
+namespace resparc::compile {
+
+std::size_t repair_placement(core::Mapping& mapping) {
+  const tech::FaultConfig& fc = mapping.config.faults;
+  if (!fc.enabled || !fc.repair) return 0;
+  const tech::FaultModel model(fc, mapping.config.mca_size);
+  const std::size_t per_mpe = mapping.config.mcas_per_mpe;
+  const std::size_t per_nc = mapping.config.mpes_per_neurocell();
+
+  // Physical mPE budget: the chip's NeuroCell bound when set, otherwise a
+  // generous sanity cap so a pathological fault config (nearly every mPE
+  // failed) reports an error instead of searching forever.
+  const std::size_t mpe_budget =
+      fc.chip_neurocells > 0
+          ? fc.chip_neurocells * per_nc
+          : std::max<std::size_t>(1024, mapping.total_mpes * 64);
+
+  // Lazily sampled mPE health, memoised because adjacent layers re-test
+  // the same spare mPEs (-1 unknown, 0 healthy, 1 failed).
+  std::vector<std::int8_t> health;
+  auto mpe_failed = [&](std::size_t mpe) {
+    if (mpe >= health.size()) health.resize(mpe + 1, -1);
+    if (health[mpe] < 0) {
+      std::int8_t failed = 0;
+      for (std::size_t slot = 0; slot < per_mpe; ++slot)
+        if (model.mca_failed(mpe * per_mpe + slot)) {
+          failed = 1;
+          break;
+        }
+      health[mpe] = failed;
+    }
+    return health[mpe] != 0;
+  };
+
+  std::size_t moved = 0;
+  std::size_t cursor = 0;
+  for (core::LayerMapping& lm : mapping.layers) {
+    const std::size_t need = lm.mpe_count;
+    std::size_t start = cursor;
+    for (;;) {
+      if (start + need > mpe_budget)
+        throw MappingError(
+            "repair: no healthy span of " + std::to_string(need) +
+            " mPEs for layer " + std::to_string(lm.layer) + " within the " +
+            std::to_string(mpe_budget) + "-mPE budget (chip_seed " +
+            std::to_string(fc.chip_seed) + ")");
+      bool clean = true;
+      for (std::size_t i = 0; i < need; ++i)
+        if (mpe_failed(start + i)) {
+          start += i + 1;  // skip past the failed mPE and retry
+          clean = false;
+          break;
+        }
+      if (clean) break;
+    }
+    if (start != lm.first_mpe) ++moved;
+    lm.first_mpe = start;
+    lm.first_nc = start / per_nc;
+    lm.last_nc = (start + need - 1) / per_nc;
+    cursor = start + need;
+  }
+
+  // Re-derive the whole-chip extents (gaps over skipped mPEs are legal);
+  // MCA count and utilisation are placement-independent.
+  std::size_t max_mpe_end = 0;
+  std::size_t max_nc = 0;
+  for (const core::LayerMapping& lm : mapping.layers) {
+    max_mpe_end = std::max(max_mpe_end, lm.first_mpe + lm.mpe_count);
+    max_nc = std::max(max_nc, lm.last_nc);
+  }
+  mapping.total_mpes = max_mpe_end;
+  mapping.total_neurocells = max_nc + 1;
+  return moved;
+}
+
+}  // namespace resparc::compile

@@ -46,6 +46,7 @@ void ResparcConfig::validate() const {
   require(buffer_depth >= 1, "buffer depth must be positive");
   require(input_sram_bytes >= 1024, "input SRAM must be at least 1 KiB");
   technology.validate();
+  faults.validate();
 }
 
 std::string ResparcConfig::label() const {
@@ -91,6 +92,22 @@ std::uint64_t ResparcConfig::fingerprint() const {
   h.add(d.core_leakage_w);
   h.add(d.column_interface_pj);
   h.add(d.mca_column_leak_w);
+
+  // Fault injection enters the fingerprint only when enabled: a disabled
+  // block (whatever its field values) leaves the hash — and therefore
+  // every compiled-program blob — identical to pre-fault builds.
+  if (faults.enabled) {
+    h.add(true);
+    h.add(faults.chip_seed);
+    h.add(faults.stuck_off_rate);
+    h.add(faults.stuck_on_rate);
+    h.add(faults.programming_sigma);
+    h.add(faults.read_noise_sigma);
+    h.add(faults.weight_bits);
+    h.add(faults.failed_density);
+    h.add(faults.repair);
+    h.add(faults.chip_neurocells);
+  }
   return h.state;
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "tech/nonideal.hpp"
 #include "tech/technology.hpp"
 
 namespace resparc::core {
@@ -30,6 +31,11 @@ struct ResparcConfig {
   /// by bench/ablation_input_sharing.
   bool enhanced_input_sharing = false;
   tech::Technology technology = tech::default_technology();
+  /// Device fault injection for one chip instance (docs/reliability.md).
+  /// Off by default; a disabled block is inert — it does not enter the
+  /// fingerprint, so fault-free programs stay byte-compatible with
+  /// builds that predate the robustness layer.
+  tech::FaultConfig faults{};
 
   std::size_t mpes_per_neurocell() const { return nc_dim * nc_dim; }
   std::size_t switches_per_neurocell() const {

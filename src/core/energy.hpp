@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 #include "noc/stats.hpp"
+#include "tech/nonideal.hpp"
 
 namespace resparc::core {
 
@@ -122,6 +124,9 @@ struct RunReport {
   /// trace set like `events`.
   noc::NocStats noc;
   std::size_t classifications = 0;
+  /// Realised device-fault manifest of the chip instance the replay ran
+  /// on; absent when fault injection is disabled (docs/reliability.md).
+  std::optional<tech::FaultManifest> faults;
 };
 
 }  // namespace resparc::core

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/fault_injection.hpp"
 #include "tech/sram.hpp"
 
 namespace resparc::core {
@@ -75,6 +76,14 @@ Executor::Executor(const snn::Topology& topology, const Mapping& mapping,
   require(routes_.size() == topology.layer_count() + 1,
           "executor: route table does not cover every layer boundary");
 
+  // Device faults: freeze the chip instance's mean read-energy multiplier
+  // and its manifest once; replays only pay one extra multiply (by an
+  // exact 1.0 when disabled — the fault-free path stays bit-for-bit).
+  if (mapping_.config.faults.enabled) {
+    fault_cell_scale_ = chip_energy_scale(mapping_);
+    fault_manifest_ = derive_manifest(mapping_);
+  }
+
   const ResparcConfig& cfg = mapping_.config;
   const tech::DigitalCosts& d = cfg.technology.digital;
   group_consts_.resize(mapping.layers.size());
@@ -127,7 +136,10 @@ Executor::ReplayCosts Executor::make_costs() const {
       t,
       t.digital,
       device,
-      device.mean_cell_read_energy_pj(),
+      // Programmed cells charge at the chip instance's realised mean
+      // conductance (x1.0 exactly when fault injection is off); unmapped
+      // G_off cells are unaffected by programming faults.
+      device.mean_cell_read_energy_pj() * fault_cell_scale_,
       device.cell_read_energy_pj(device.g_min()),
       device.params().sneak_leak_fraction,
       static_cast<double>(cfg.mca_size),
@@ -334,6 +346,8 @@ void Executor::finish_lane(const ReplayCosts& costs, LaneAccum& lane) const {
           d.mca_column_leak_w +
       costs.sram.leakage_w();
   e.leakage_pj += leak_w * report.perf.latency_pipelined_ns() * 1e3;  // W*ns -> pJ
+
+  if (fault_manifest_) report.faults = fault_manifest_;
 }
 
 RunReport Executor::run(const snn::SpikeTrace& trace) const {
@@ -416,6 +430,7 @@ RunReport Executor::run_batched(std::span<const snn::SpikeTrace> traces) const {
   const double n = static_cast<double>(total.classifications);
   total.energy /= n;
   total.perf /= n;
+  if (fault_manifest_) total.faults = fault_manifest_;
   return total;
 }
 
@@ -442,6 +457,7 @@ RunReport Executor::run_all(std::span<const snn::SpikeTrace> traces,
   const double n = static_cast<double>(total.classifications);
   total.energy /= n;
   total.perf /= n;
+  if (fault_manifest_) total.faults = fault_manifest_;
   return total;
 }
 

@@ -135,6 +135,13 @@ class Executor {
   noc::RouteTable routes_;
   noc::Fidelity fidelity_ = noc::Fidelity::kAnalytic;
   std::vector<std::vector<GroupConsts>> group_consts_;  ///< [layer][group]
+  /// Mean per-cell read-energy multiplier of the chip instance's faults
+  /// (core/fault_injection.hpp); exactly 1.0 when fault injection is
+  /// disabled, so the fault-free cost path is bit-for-bit unchanged.
+  double fault_cell_scale_ = 1.0;
+  /// Realised fault manifest stamped onto every RunReport; absent when
+  /// fault injection is disabled.
+  std::optional<tech::FaultManifest> fault_manifest_;
 };
 
 }  // namespace resparc::core

@@ -1,0 +1,55 @@
+// Mapping-aware fault application: which MCA slot holds which weights.
+//
+// tech::FaultModel samples the silicon of one MCA slot; this layer binds
+// slots to the compiled placement so every consumer agrees on *where*
+// each fault lands:
+//
+//   * the functional path perturbs snn::Network weights tile-by-tile
+//     (perturb_network), so snn::evaluate_accuracy measures the chip
+//     instance's accuracy with the exact same per-slot draws the
+//     electrical and analytic views use;
+//   * the analytic path scales the executor's per-cell read energy by
+//     the chip's mean conductance multiplier (chip_energy_scale) and
+//     stamps the realised manifest on RunReport (derive_manifest);
+//   * the compile/verify path re-derives the mPE health map
+//     (derive_health) that the repair pass placed around.
+//
+// Slot convention: layer `lm` occupies MCA slots
+// `lm.first_mpe * mcas_per_mpe + tile`, with `tile` indexing a uniform
+// row-major N x N tiling of the layer's stored weight matrix.  For conv
+// layers (weight-shared im2col matrices) this is the canonical-copy
+// approximation: the physical chip replicates kernel weights across
+// window tiles, the model perturbs the shared matrix once.  Uniform
+// tiling never needs more slots than the mapper's own tiling, so slots
+// stay within the layer's placed span (docs/reliability.md).
+#pragma once
+
+#include "core/mapper.hpp"
+#include "snn/network.hpp"
+#include "tech/nonideal.hpp"
+
+namespace resparc::core {
+
+/// Realised fault manifest of the chip instance a mapping deploys onto:
+/// scans every MCA slot of the placed mPE range.  Requires
+/// mapping.config.faults.enabled.
+tech::FaultManifest derive_manifest(const Mapping& mapping);
+
+/// mPE health map over the placed range (plus the spare headroom the
+/// repair pass may use).  Requires mapping.config.faults.enabled.
+tech::ChipHealthMap derive_health(const Mapping& mapping);
+
+/// Mean per-cell read-energy multiplier across all deployed MCA slots
+/// (1.0 when fault injection is disabled); the executor folds this into
+/// its mean-conductance crossbar cost.
+double chip_energy_scale(const Mapping& mapping);
+
+/// Applies the chip instance's faults to the network's stored weights
+/// in place: optional re-quantisation to faults.weight_bits levels,
+/// stuck-off cells zeroed, stuck-on cells pinned to the layer's full
+/// scale, healthy cells scaled by their lognormal gain.  No-op when
+/// fault injection is disabled.  Deterministic: float arithmetic only,
+/// same result for any call order or thread count.
+void perturb_network(snn::Network& network, const Mapping& mapping);
+
+}  // namespace resparc::core

@@ -1,0 +1,30 @@
+#include "serve/canary.hpp"
+
+#include "common/rng.hpp"
+
+namespace resparc::serve {
+
+CanarySignature canary_signature(const api::ExecutionReport& report) {
+  return CanarySignature{report.energy_pj, report.latency_ns};
+}
+
+snn::SpikeTrace make_canary_trace(const snn::Topology& topology,
+                                  std::size_t timesteps, std::uint64_t seed) {
+  snn::SpikeTrace trace;
+  trace.layers.resize(topology.layer_count() + 1);
+  for (std::size_t l = 0; l < trace.layers.size(); ++l) {
+    const std::size_t neurons = l == 0 ? topology.input_neurons()
+                                       : topology.layers()[l - 1].neurons;
+    Rng rng(stream_seed(seed, l));
+    trace.layers[l].reserve(timesteps);
+    for (std::size_t t = 0; t < timesteps; ++t) {
+      snn::SpikeVector spikes(neurons);
+      for (std::size_t i = 0; i < neurons; ++i)
+        if (rng.bernoulli(0.25)) spikes.set(i);
+      trace.layers[l].push_back(std::move(spikes));
+    }
+  }
+  return trace;
+}
+
+}  // namespace resparc::serve

@@ -1,0 +1,41 @@
+// Replica canary probes: detect degraded (faulty) replicas at checkout.
+//
+// A tenant binding per-replica fault seeds (TenantSpec::replica_chip_seeds)
+// gets a deterministic synthetic spike trace — the *canary* — plus the
+// signature a pristine accelerator produces for it.  Before a replica
+// serves its first batch the dispatcher replays the canary on it; any
+// divergence from the reference signature marks the replica degraded and
+// retires it from the free rotation (docs/reliability.md).  Replay is
+// deterministic, so an exact-equality signature has no false positives:
+// a healthy replica reproduces the reference bit for bit.
+#pragma once
+
+#include <cstdint>
+
+#include "api/accelerator.hpp"
+#include "snn/topology.hpp"
+#include "snn/trace.hpp"
+
+namespace resparc::serve {
+
+/// What a canary replay is compared on: the headline replay metrics,
+/// compared exactly (replay is deterministic — equal configs reproduce
+/// these doubles bit for bit, and a fault-perturbed chip virtually never
+/// does).
+struct CanarySignature {
+  double energy_pj = 0.0;   ///< total replay energy
+  double latency_ns = 0.0;  ///< critical-path replay latency
+  bool operator==(const CanarySignature&) const = default;
+};
+
+/// Extracts the comparison signature from one replay report.
+CanarySignature canary_signature(const api::ExecutionReport& report);
+
+/// Builds the deterministic canary trace for `topology`: every layer
+/// (input included) spikes with ~25% density per timestep, drawn from
+/// SplitMix64 streams over (seed, layer) — a pure function of its
+/// arguments, so every replica of a tenant replays the identical probe.
+snn::SpikeTrace make_canary_trace(const snn::Topology& topology,
+                                  std::size_t timesteps, std::uint64_t seed);
+
+}  // namespace resparc::serve

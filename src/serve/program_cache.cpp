@@ -1,5 +1,6 @@
 #include "serve/program_cache.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -19,6 +20,15 @@ std::string hex_key(std::uint64_t key) {
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(key));
   return buf;
+}
+
+/// Process-wide tmp-file counter: caches sharing a directory (a restart
+/// test, two servers over one cache dir) must never collide on a tmp
+/// name, or two unlocked save_file calls could interleave into one torn
+/// blob that rename() then publishes.
+std::atomic<std::uint64_t>& tmp_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
 }
 
 }  // namespace
@@ -41,6 +51,46 @@ std::string ProgramCache::blob_path(std::uint64_t key) const {
       .string();
 }
 
+void ProgramCache::persist(std::uint64_t key,
+                           const compile::CompiledProgram& program,
+                           const std::string& path) {
+  // Write to a unique temp file first (slow, unlocked), then rename into
+  // place under the lock.  rename() replaces atomically, so a concurrent
+  // unlocked load_file either sees the old complete blob or the new one —
+  // never a torn write that would count as a spurious corruption.
+  const std::string tmp =
+      path + ".tmp" + std::to_string(tmp_counter().fetch_add(1));
+  if (!program.save_file(tmp)) {
+    std::cerr << "serve: could not persist program blob " << path << "\n";
+    return;
+  }
+  MutexLock lock(mutex_);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    std::cerr << "serve: could not persist program blob " << path << "\n";
+    return;
+  }
+  ++generation_[key];
+}
+
+void ProgramCache::evict_corrupt(std::uint64_t key, std::uint64_t generation,
+                                 const std::string& path,
+                                 const std::string& code) {
+  MutexLock lock(mutex_);
+  if (generation_[key] != generation) return;  // already replaced/evicted
+  ++generation_[key];
+  ++stats_.corrupt_evictions;
+  last_corruption_code_ = code;
+  // Remove while still holding the lock: an unlocked remove could race a
+  // concurrent recompile's rename and delete the fresh blob instead.
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::cerr << "serve: evicted corrupt program blob " << path << " ["
+            << (code.empty() ? "no-code" : code) << "]; recompiling\n";
+}
+
 std::shared_ptr<const compile::CompiledProgram> ProgramCache::insert(
     std::uint64_t key, compile::CompiledProgram program) {
   auto shared =
@@ -60,6 +110,8 @@ std::shared_ptr<const compile::CompiledProgram> ProgramCache::get_or_compile(
   const std::uint64_t key =
       compile::program_cache_key(config, topology, strategy);
 
+  const std::string path = blob_path(key);
+  std::uint64_t generation = 0;
   {
     MutexLock lock(mutex_);
     auto it = index_.find(key);
@@ -68,11 +120,14 @@ std::shared_ptr<const compile::CompiledProgram> ProgramCache::get_or_compile(
       lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
       return it->second->program;
     }
+    // Snapshot the blob generation before the unlocked disk probe: a
+    // corrupt read only evicts/counts if the blob was not replaced
+    // meanwhile (evict_corrupt re-checks under the lock).
+    if (!path.empty()) generation = generation_[key];
   }
 
   // Disk probe outside the lock: rehydration re-verifies the blob, which
   // is cheap next to a compile but not worth serializing every caller on.
-  const std::string path = blob_path(key);
   if (!path.empty() && std::filesystem::exists(path)) {
     try {
       compile::CompiledProgram program =
@@ -82,26 +137,17 @@ std::shared_ptr<const compile::CompiledProgram> ProgramCache::get_or_compile(
       ++stats_.disk_hits;
       return insert(key, std::move(program));
     } catch (const Error& e) {
-      // Tampered/stale blob: evict the file, remember the diagnostic
-      // code, and fall through to a transparent recompile — corruption
-      // must never surface to the tenant (tests/test_serve.cpp).
-      std::error_code ec;
-      std::filesystem::remove(path, ec);
-      {
-        MutexLock lock(mutex_);
-        ++stats_.corrupt_evictions;
-        last_corruption_code_ = e.code();
-      }
-      std::cerr << "serve: evicted corrupt program blob " << path << " ["
-                << (e.code().empty() ? "no-code" : e.code())
-                << "]; recompiling\n";
+      // Tampered/stale blob: evict the file (once, generation-checked),
+      // remember the diagnostic code, and fall through to a transparent
+      // recompile — corruption must never surface to the tenant
+      // (tests/test_serve.cpp, tests/test_program_cache_race.cpp).
+      evict_corrupt(key, generation, path, e.code());
     }
   }
 
   compile::Compiler compiler(config, compile::CompileOptions{config_.activity});
   compile::CompiledProgram program = compiler.compile(topology, strategy);
-  if (!path.empty() && !program.save_file(path))
-    std::cerr << "serve: could not persist program blob " << path << "\n";
+  if (!path.empty()) persist(key, program, path);
 
   MutexLock lock(mutex_);
   ++stats_.misses;
@@ -121,6 +167,11 @@ std::shared_ptr<const compile::CompiledProgram> ProgramCache::rehydrate(
   if (path.empty() || !std::filesystem::exists(path))
     throw ServeError("no persisted blob for key " + hex_key(key),
                      kErrCacheCorrupt);
+  std::uint64_t generation = 0;
+  {
+    MutexLock lock(mutex_);
+    generation = generation_[key];
+  }
   try {
     compile::CompiledProgram program =
         compile::CompiledProgram::load_file(path, config);
@@ -129,13 +180,7 @@ std::shared_ptr<const compile::CompiledProgram> ProgramCache::rehydrate(
     ++stats_.disk_hits;
     return insert(key, std::move(program));
   } catch (const Error& e) {
-    std::error_code ec;
-    std::filesystem::remove(path, ec);
-    {
-      MutexLock lock(mutex_);
-      ++stats_.corrupt_evictions;
-      last_corruption_code_ = e.code();
-    }
+    evict_corrupt(key, generation, path, e.code());
     throw ServeError("persisted blob " + path + " failed verification [" +
                          (e.code().empty() ? "no-code" : e.code()) +
                          "]: " + e.what(),

@@ -98,6 +98,19 @@ class ProgramCache {
   std::shared_ptr<const compile::CompiledProgram> insert(
       std::uint64_t key, compile::CompiledProgram program)
       RESPARC_REQUIRES(mutex_);
+  /// Persists `program` to `path` atomically: the blob is written to a
+  /// unique sibling temp file and renamed into place, so a concurrent
+  /// rehydrate can only ever open a complete blob (never a torn write).
+  /// On success bumps the key's blob generation under the lock.
+  void persist(std::uint64_t key, const compile::CompiledProgram& program,
+               const std::string& path);
+  /// Corrupt-blob eviction with double-count protection: removes the
+  /// blob and bumps the counters only when the key's blob generation
+  /// still equals `generation` (= nobody replaced or evicted the blob
+  /// since this caller read it) — racing callers that all rejected the
+  /// same bad blob account exactly one eviction.
+  void evict_corrupt(std::uint64_t key, std::uint64_t generation,
+                     const std::string& path, const std::string& code);
 
   ProgramCacheConfig config_;
   bool persist_ = false;  ///< directory usable (created successfully)
@@ -106,6 +119,11 @@ class ProgramCache {
   /// MRU-first list; the map indexes into it.
   std::list<Entry> lru_ RESPARC_GUARDED_BY(mutex_);
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_
+      RESPARC_GUARDED_BY(mutex_);
+  /// Per-key on-disk blob generation, bumped on every persist/evict.
+  /// Readers snapshot it before an unlocked disk probe; mutations check
+  /// it so one physical corruption is only counted/evicted once.
+  std::unordered_map<std::uint64_t, std::uint64_t> generation_
       RESPARC_GUARDED_BY(mutex_);
   ProgramCacheStats stats_ RESPARC_GUARDED_BY(mutex_);
   std::string last_corruption_code_ RESPARC_GUARDED_BY(mutex_);

@@ -49,6 +49,12 @@ inline constexpr const char* kErrEmptyRequest = "RS-REQUEST-EMPTY";
 /// A raw-image request reached a tenant bound without a network (the
 /// server can replay traces but has nothing to simulate images with).
 inline constexpr const char* kErrNoNetwork = "RS-TENANT-NO-NETWORK";
+/// Every replica of the tenant failed its canary check: the request (or
+/// the whole pending queue) cannot be served (docs/reliability.md).
+inline constexpr const char* kErrReplicaDegraded = "RS-REPLICA-DEGRADED";
+/// A batch hit ServerConfig::max_retries replicas that all turned out
+/// degraded at checkout before finding a healthy one.
+inline constexpr const char* kErrRetryExhausted = "RS-RETRY-EXHAUSTED";
 
 /// Stable ids handed out by Server::open_session.
 using SessionId = std::uint64_t;

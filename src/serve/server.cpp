@@ -56,21 +56,50 @@ void Server::add_tenant(const std::string& name, TenantSpec spec) {
   // Compile/load outside the server lock — binding a tenant is the
   // expensive path and must not stall the dispatchers.  RESPARC replicas
   // share one compile through the program cache (a warm cache directory
-  // makes a server restart skip compilation entirely).
-  for (std::size_t r = 0; r < config_.replicas; ++r) {
-    auto accelerator = api::make_accelerator(s.backend, s.options);
+  // makes a server restart skip compilation entirely).  A replica with a
+  // non-zero fault seed compiles its own fault-aware program (the fault
+  // config changes the fingerprint, so the repair pass re-places around
+  // that chip instance's failed mPEs, docs/reliability.md).
+  auto build_replica = [&](const api::BackendOptions& options) {
+    auto accelerator = api::make_accelerator(s.backend, options);
     if (auto* resparc = dynamic_cast<api::ResparcBackend*>(accelerator.get())) {
-      const auto program =
-          cache_.get_or_compile(resparc->config(), s.topology,
-                                resparc->strategy());
+      const auto program = cache_.get_or_compile(resparc->config(), s.topology,
+                                                 resparc->strategy());
       resparc->load_program(s.topology, *program);
     } else {
       accelerator->load(s.topology);
     }
-    state->replicas.push_back(std::move(accelerator));
+    return accelerator;
+  };
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    api::BackendOptions options = s.options;
+    const std::uint64_t chip_seed =
+        r < s.replica_chip_seeds.size() ? s.replica_chip_seeds[r] : 0;
+    if (chip_seed != 0) {
+      options.resparc.faults.enabled = true;
+      options.resparc.faults.chip_seed = chip_seed;
+    }
+    state->replicas.push_back(build_replica(options));
     state->free_replicas.push_back(r);
   }
   state->simulators.resize(state->replicas.size());
+
+  // Canary probe: a deterministic synthetic trace plus the signature a
+  // pristine replica produces for it, recorded before any replica
+  // serves.  Replay is deterministic, so the exact-equality comparison
+  // at first checkout has no false positives.
+  state->canary_enabled = !s.replica_chip_seeds.empty();
+  state->canary_checked.assign(state->replicas.size(), 0);
+  state->degraded.assign(state->replicas.size(), 0);
+  state->healthy = state->replicas.size();
+  if (state->canary_enabled) {
+    state->canary = make_canary_trace(s.topology, /*timesteps=*/4,
+                                      stream_seed(config_.seed, 0xCA9A59ull));
+    const auto reference = build_replica(s.options);
+    std::vector<api::ExecutionReport> reports;
+    api::Pipeline::execute_each(*reference, {&state->canary, 1}, reports, 1);
+    state->canary_reference = canary_signature(reports.front());
+  }
 
   MutexLock lock(mutex_);
   if (stop_) throw ServeError("server is shutting down", kErrShutdown);
@@ -118,6 +147,10 @@ std::future<Response> Server::submit(SessionId session, Request request) {
     throw ServeError("tenant \"" + tenant_name +
                          "\" has no network for raw-image requests",
                      kErrNoNetwork);
+  if (tenant.canary_enabled && tenant.healthy == 0)
+    throw ServeError("tenant \"" + tenant_name +
+                         "\" has no healthy replicas left",
+                     kErrReplicaDegraded);
   if (tenant.queue.size() >= config_.queue_capacity) {
     ++stats_.rejected;
     throw ServeError("tenant \"" + tenant_name + "\" queue is full (" +
@@ -149,12 +182,20 @@ void Server::dispatcher_loop(std::size_t id) {
 
     const auto now = Clock::now();
     TenantState* pick = nullptr;
+    TenantState* doomed = nullptr;
     bool window_pending = false;
     auto earliest = Clock::time_point::max();
     const std::size_t n = tenant_order_.size();
     for (std::size_t k = 0; k < n && pick == nullptr; ++k) {
       TenantState* t = tenant_order_[(rr + k) % n];
-      if (t->queue.empty() || t->free_replicas.empty()) continue;
+      if (t->queue.empty()) continue;
+      if (t->canary_enabled && t->healthy == 0) {
+        // No replica can ever serve this tenant again: fail its queue
+        // fast instead of letting drain()/shutdown() hang on it.
+        doomed = t;
+        break;
+      }
+      if (t->free_replicas.empty()) continue;
       const bool ready =
           stop_ || draining_ > 0 || t->queue.size() >= config_.batch_max ||
           now - t->queue.front().submitted >= config_.batch_window;
@@ -166,6 +207,21 @@ void Server::dispatcher_loop(std::size_t id) {
         earliest = std::min(earliest,
                             t->queue.front().submitted + config_.batch_window);
       }
+    }
+
+    if (doomed != nullptr) {
+      std::vector<Pending> dead(std::make_move_iterator(doomed->queue.begin()),
+                                std::make_move_iterator(doomed->queue.end()));
+      doomed->queue.clear();
+      pending_ -= dead.size();
+      const std::string why =
+          "tenant \"" + doomed->name + "\" has no healthy replicas left";
+      lock.unlock();
+      abandon_batch(dead, kErrReplicaDegraded, why);
+      lock.lock();
+      stats_.completed += dead.size();
+      cv_.notify_all();
+      continue;
     }
 
     if (pick == nullptr) {
@@ -185,7 +241,7 @@ void Server::dispatcher_loop(std::size_t id) {
       pick->queue.pop_front();
     }
     pending_ -= take;
-    const std::size_t replica = pick->free_replicas.back();
+    std::size_t replica = pick->free_replicas.back();
     pick->free_replicas.pop_back();
     ++inflight_;
     ++stats_.batches;
@@ -193,16 +249,106 @@ void Server::dispatcher_loop(std::size_t id) {
         std::max<std::uint64_t>(stats_.max_batch, take);
     lock.unlock();
 
-    execute_batch(*pick, replica, std::move(batch), Clock::now());
+    // Serve the batch, retrying past replicas that fail their
+    // first-checkout canary.  A degraded replica is retired for good
+    // (never returned to free_replicas), so the tenant keeps serving at
+    // reduced capacity on whatever remains healthy.
+    std::size_t attempt = 0;
+    for (;;) {
+      if (check_replica(*pick, replica)) {
+        execute_batch(*pick, replica, std::move(batch), Clock::now());
+        lock.lock();
+        pick->free_replicas.push_back(replica);
+        break;
+      }
 
-    lock.lock();
-    pick->free_replicas.push_back(replica);
+      lock.lock();
+      const char* code = nullptr;
+      std::string why;
+      if (pick->healthy == 0) {
+        code = kErrReplicaDegraded;
+        why = "tenant \"" + pick->name + "\" has no healthy replicas left";
+      } else if (attempt >= config_.max_retries) {
+        ++stats_.retry_exhausted;
+        code = kErrRetryExhausted;
+        why = "batch hit " + std::to_string(attempt + 1) +
+              " degraded replicas of tenant \"" + pick->name +
+              "\" (max_retries " + std::to_string(config_.max_retries) + ")";
+      }
+      if (code != nullptr) {
+        lock.unlock();
+        abandon_batch(batch, code, why);
+        lock.lock();
+        break;
+      }
+
+      ++attempt;
+      ++stats_.retries;
+      // Bounded exponential backoff before stealing the next replica:
+      // base << (attempt-1), capped at base << 6.  The timed wait doubles
+      // as the replica-return wakeup.
+      const auto backoff = config_.retry_backoff *
+                           (std::uint64_t{1}
+                            << std::min<std::size_t>(attempt - 1, 6));
+      if (backoff.count() > 0) cv_.wait_for(lock.native(), backoff);
+      while (pick->free_replicas.empty() && pick->healthy > 0)
+        cv_.wait(lock.native());
+      if (pick->healthy == 0) {
+        why = "tenant \"" + pick->name + "\" has no healthy replicas left";
+        lock.unlock();
+        abandon_batch(batch, kErrReplicaDegraded, why);
+        lock.lock();
+        break;
+      }
+      replica = pick->free_replicas.back();
+      pick->free_replicas.pop_back();
+      lock.unlock();
+    }
+
     --inflight_;
     stats_.completed += take;
     // Wake peers: the freed replica may unblock this tenant's next
     // batch, and drain()/shutdown() waiters recheck their predicates.
     cv_.notify_all();
   }
+}
+
+bool Server::check_replica(TenantState& tenant, std::size_t replica) {
+  {
+    MutexLock lock(mutex_);
+    if (!tenant.canary_enabled || tenant.canary_checked[replica])
+      return tenant.degraded[replica] == 0;
+  }
+
+  // Replay the canary unlocked — only the dispatcher holding the
+  // checked-out replica touches it.  Any execution failure counts as
+  // divergence: a replica that cannot replay the probe cannot serve.
+  bool ok = false;
+  try {
+    std::vector<api::ExecutionReport> reports;
+    api::Pipeline::execute_each(*tenant.replicas[replica],
+                                {&tenant.canary, 1}, reports, 1);
+    ok = canary_signature(reports.front()) == tenant.canary_reference;
+  } catch (...) {
+    ok = false;
+  }
+
+  MutexLock lock(mutex_);
+  ++stats_.canary_checks;
+  tenant.canary_checked[replica] = 1;
+  if (!ok) {
+    tenant.degraded[replica] = 1;
+    --tenant.healthy;
+    ++stats_.degraded_replicas;
+  }
+  return ok;
+}
+
+void Server::abandon_batch(std::vector<Pending>& batch, const char* code,
+                           const std::string& why) {
+  for (const Pending& pending : batch)
+    sessions_.abandon(pending.session, pending.sequence,
+                      std::make_exception_ptr(ServeError(why, code)));
 }
 
 void Server::execute_batch(TenantState& tenant, std::size_t replica,

@@ -27,6 +27,14 @@
 //    through the SessionManager's ordered delivery.
 //  * Accounting: every response feeds the lock-free LatencyRecorder
 //    (queue/batch/compute/transport/stall/total percentiles).
+//  * Degradation: tenants binding per-replica fault seeds
+//    (TenantSpec::replica_chip_seeds) get canary-checked replicas — a
+//    replica whose first-checkout canary replay diverges from the
+//    pristine signature is retired, its batch retries onto a healthy
+//    replica with bounded exponential backoff, and the tenant keeps
+//    serving at reduced capacity (RS-REPLICA-DEGRADED /
+//    RS-RETRY-EXHAUSTED when nothing healthy remains,
+//    docs/reliability.md).
 #pragma once
 
 #include <chrono>
@@ -42,6 +50,7 @@
 
 #include "api/registry.hpp"
 #include "common/thread_safety.hpp"
+#include "serve/canary.hpp"
 #include "serve/latency.hpp"
 #include "serve/program_cache.hpp"
 #include "serve/request.hpp"
@@ -74,6 +83,13 @@ struct ServerConfig {
   std::uint64_t seed = 7;
   /// Compiled-program cache (directory "" = no persistence).
   ProgramCacheConfig cache{};
+  /// How many degraded replicas one batch may burn through at checkout
+  /// before it is abandoned with RS-RETRY-EXHAUSTED (each retry re-runs
+  /// the canary on the next free replica, docs/reliability.md).
+  std::size_t max_retries = 3;
+  /// Base delay of the bounded exponential backoff between retries
+  /// (doubles per attempt, capped at base << 6; 0 = no backoff).
+  std::chrono::microseconds retry_backoff{50};
 };
 
 /// Monotonic serving counters (consistent snapshot via Server::stats()).
@@ -83,6 +99,12 @@ struct ServerStats {
   std::uint64_t completed = 0;   ///< responses published
   std::uint64_t batches = 0;     ///< batches dispatched
   std::uint64_t max_batch = 0;   ///< largest batch formed
+
+  // Degraded-replica serving (docs/reliability.md):
+  std::uint64_t canary_checks = 0;      ///< canary replays executed
+  std::uint64_t degraded_replicas = 0;  ///< replicas retired by the canary
+  std::uint64_t retries = 0;            ///< batch re-dispatches onto another replica
+  std::uint64_t retry_exhausted = 0;    ///< batches abandoned (RS-RETRY-EXHAUSTED)
 };
 
 /// The multi-tenant serving front-end.  All public methods are
@@ -160,6 +182,16 @@ class Server {
     /// dispatcher holding the replica touches its simulator.
     std::vector<std::unique_ptr<snn::Simulator>> simulators;
     std::vector<std::size_t> free_replicas;  ///< replica indices not in flight
+
+    // Canary state (docs/reliability.md).  The trace and reference
+    // signature are immutable after add_tenant; the per-replica health
+    // vectors are guarded by the server mutex.
+    bool canary_enabled = false;      ///< spec bound replica_chip_seeds
+    snn::SpikeTrace canary;           ///< deterministic probe trace
+    CanarySignature canary_reference; ///< pristine replay signature
+    std::vector<char> canary_checked; ///< replica passed/failed its probe
+    std::vector<char> degraded;       ///< replica retired by the canary
+    std::size_t healthy = 0;          ///< replicas not (yet) degraded
   };
 
   void dispatcher_loop(std::size_t id);
@@ -167,6 +199,16 @@ class Server {
   /// and publishes its responses.
   void execute_batch(TenantState& tenant, std::size_t replica,
                      std::vector<Pending> batch, Clock::time_point dispatch);
+  /// Runs the replica's first-checkout canary when armed and not yet
+  /// done (no lock held during the replay).  Returns false when the
+  /// replica is degraded — the caller must not serve on it; a degraded
+  /// replica is retired (never returned to free_replicas).
+  bool check_replica(TenantState& tenant, std::size_t replica);
+  /// Fails every request of `batch` with ServeError(code) — delivery
+  /// order per session is preserved by the session layer.  Call with the
+  /// server lock released (promise continuations run inline).
+  void abandon_batch(std::vector<Pending>& batch, const char* code,
+                     const std::string& why);
 
   ServerConfig config_;
   ProgramCache cache_;

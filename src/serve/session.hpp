@@ -51,6 +51,15 @@ struct TenantSpec {
   api::BackendOptions options{};
   /// Encoder/timestep settings used to simulate raw-image requests.
   snn::SimConfig sim{};
+  /// Per-replica device fault seeds (docs/reliability.md).  Replica r
+  /// takes seed [r] (missing/0 = pristine, `options` verbatim); a
+  /// non-zero seed enables fault injection on that replica's chip
+  /// (options.resparc.faults supplies rates/sigmas, the seed overrides
+  /// chip_seed).  A non-empty vector also arms the canary probe: every
+  /// replica replays a deterministic canary trace at first checkout and
+  /// is retired as degraded when its signature diverges from the
+  /// pristine reference (serve/canary.hpp).
+  std::vector<std::uint64_t> replica_chip_seeds{};
 };
 
 /// Per-session knobs.

@@ -129,4 +129,10 @@ double CrossbarModel::conductance_at(std::size_t r, std::size_t c) const {
   return g_[r * cols_ + c];
 }
 
+void CrossbarModel::set_conductance(std::size_t r, std::size_t c, double g) {
+  if (r >= rows_ || c >= cols_)
+    throw ShapeError("CrossbarModel::set_conductance out of range");
+  g_[r * cols_ + c] = g;
+}
+
 }  // namespace resparc::tech

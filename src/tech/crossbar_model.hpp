@@ -81,6 +81,11 @@ class CrossbarModel {
   /// Programmed conductance of one device (siemens).
   double conductance_at(std::size_t r, std::size_t c) const;
 
+  /// Overwrites the programmed conductance of one device (siemens);
+  /// the mutation hook tech::FaultModel::perturb pins stuck cells and
+  /// applies variation through after program().
+  void set_conductance(std::size_t r, std::size_t c, double g);
+
  private:
   std::size_t rows_;
   std::size_t cols_;

@@ -9,6 +9,7 @@
 #include "common/math.hpp"
 #include "compile/cost_model.hpp"
 #include "noc/route.hpp"
+#include "tech/nonideal.hpp"
 
 namespace resparc::verify {
 
@@ -528,6 +529,57 @@ void topology_pass(const CompiledProgram& p, const VerifyOptions& options,
   }
 }
 
+// ------------------------------------------------------------------ faults --
+
+/// Device-fault invariants (only with faults enabled on the bound
+/// configuration): the placement must avoid every failed mPE when the
+/// repair pass claims to have run (RV-FAULT-FAILED-MPE is a warning
+/// without repair — the program knowingly deploys onto bad silicon),
+/// and the repaired placement must fit the chip's NeuroCell budget
+/// (RV-FAULT-CAPACITY).  The health map is re-derived here from the
+/// config's (chip_seed, mca_id) streams — independently of the repair
+/// pass — so a buggy repair cannot vouch for itself.
+void faults_pass(const CompiledProgram& p, const VerifyOptions&,
+                 VerifyReport& report) {
+  const Mapping& m = p.mapping;
+  const tech::FaultConfig& fc = m.config.faults;
+  if (!fc.enabled) return;
+  try {
+    fc.validate();
+  } catch (const Error& e) {
+    report.error("RV-FAULT-CONFIG", "config", e.what());
+    return;
+  }
+  const tech::FaultModel model(fc, m.config.mca_size);
+  const std::size_t per_mpe = m.config.mcas_per_mpe;
+  for (std::size_t l = 0; l < m.layers.size(); ++l) {
+    const LayerMapping& lm = m.layers[l];
+    for (std::size_t mpe = lm.first_mpe; mpe < lm.first_mpe + lm.mpe_count;
+         ++mpe) {
+      bool failed = false;
+      for (std::size_t slot = 0; slot < per_mpe; ++slot)
+        if (model.mca_failed(mpe * per_mpe + slot)) {
+          failed = true;
+          break;
+        }
+      if (!failed) continue;
+      const std::string msg =
+          "layer occupies failed mPE " + std::to_string(mpe) +
+          " (stuck density over " + std::to_string(fc.failed_density) +
+          " on chip_seed " + std::to_string(fc.chip_seed) + ")";
+      if (fc.repair)
+        report.error("RV-FAULT-FAILED-MPE", layer_loc(l), msg);
+      else
+        report.warning("RV-FAULT-FAILED-MPE", layer_loc(l), msg);
+    }
+  }
+  if (fc.chip_neurocells > 0 && m.total_neurocells > fc.chip_neurocells)
+    report.error("RV-FAULT-CAPACITY", "program",
+                 "placement spans " + std::to_string(m.total_neurocells) +
+                     " NeuroCells but the chip instance has only " +
+                     std::to_string(fc.chip_neurocells));
+}
+
 }  // namespace
 
 const std::vector<VerifyPass>& verify_passes() {
@@ -537,6 +589,7 @@ const std::vector<VerifyPass>& verify_passes() {
       {"capacity", capacity_pass},
       {"consistency", consistency_pass},
       {"topology", topology_pass},
+      {"faults", faults_pass},
   };
   return passes;
 }

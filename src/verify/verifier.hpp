@@ -20,6 +20,10 @@
 //                the bound configuration
 //   topology     (only when a Topology is supplied) per-layer synapse
 //                conservation against the network the program claims
+//   faults       (only with fault injection enabled) the placement
+//                avoids every failed mPE when repair ran (warning
+//                without repair) and fits the chip's NeuroCell budget
+//                (RV-FAULT-*, docs/reliability.md)
 //
 // It is strategy-independent by design: any future MappingStrategy (ILP,
 // simulated annealing, beam search — ROADMAP item 1) must produce

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "api/differential.hpp"
+#include "api/registry.hpp"
 #include "common/rng.hpp"
 #include "snn/fuzz.hpp"
 #include "snn/simulator.hpp"
@@ -71,6 +72,54 @@ TEST(Differential, RegressionCorpusAgrees) {
     const snn::FuzzCase c = snn::make_fuzz_case(seed);
     const api::DifferentialResult r = api::check_differential(c);
     ASSERT_TRUE(r.ok) << "corpus " << r.detail;
+  }
+}
+
+// Fault injection freezes its per-cell state at program time, so the
+// dense, sparse and packed replay paths must stay bit-for-bit identical
+// on faulted chips exactly as they are on pristine ones.  A smaller
+// sweep than the pristine one: every seed costs a compile per engine.
+TEST(Differential, FaultedReplayEnginesAgree) {
+  constexpr std::uint64_t kFaultSweep = 10;
+  for (std::uint64_t seed = 0; seed < kFaultSweep; ++seed) {
+    const snn::FuzzCase c = snn::make_fuzz_case(seed);
+    const snn::Network net = snn::make_fuzz_network(c);
+    snn::SimConfig cfg;
+    cfg.timesteps = c.timesteps;
+    cfg.encoder = c.encoder;
+    cfg.record_trace = true;
+    snn::Simulator sim(net, cfg);
+    Rng rng(c.seed ^ 0xd1ffe8e47ull);
+    const std::vector<snn::SpikeTrace> traces = {sim.run(c.image, rng).trace};
+
+    api::BackendOptions options;
+    options.resparc.faults.enabled = true;
+    options.resparc.faults.chip_seed = seed + 1;
+    options.resparc.faults.stuck_off_rate = 0.01;
+    options.resparc.faults.stuck_on_rate = 0.005;
+    options.resparc.faults.programming_sigma = 0.1;
+    options.resparc.faults.read_noise_sigma = 0.05;
+    // Keep every mPE placeable: this sweep checks engine agreement, not
+    // the repair pass, and random fuzz topologies need the whole chip.
+    options.resparc.faults.failed_density = 1.0;
+
+    const std::string base = "resparc-" + std::to_string(c.mca_size);
+    const auto dense = api::make_accelerator(base, options);
+    dense->load(c.topology);
+    const api::ExecutionReport ref = dense->execute(traces);
+    ASSERT_TRUE(ref.faults.has_value()) << c.summary();
+    for (const char* suffix : {"+packed", "+sparse"}) {
+      const auto accel = api::make_accelerator(base + suffix, options);
+      accel->load(c.topology);
+      const api::ExecutionReport r = accel->execute(traces);
+      EXPECT_EQ(r.energy_pj, ref.energy_pj) << c.summary() << suffix;
+      EXPECT_EQ(r.latency_ns, ref.latency_ns) << c.summary() << suffix;
+      ASSERT_TRUE(r.faults.has_value()) << c.summary() << suffix;
+      EXPECT_EQ(r.faults->stuck_off_cells, ref.faults->stuck_off_cells)
+          << c.summary() << suffix;
+      EXPECT_EQ(r.faults->stuck_on_cells, ref.faults->stuck_on_cells)
+          << c.summary() << suffix;
+    }
   }
 }
 

@@ -1,0 +1,114 @@
+// ProgramCache concurrency (docs/serving.md): the generation-checked
+// corrupt-eviction path and the atomic tmp-file + rename persist must
+// keep the eviction accounting exact — one physical corruption is one
+// eviction no matter how many readers trip over it, and concurrent
+// writers can never make a reader observe a torn blob as a spurious
+// corruption.  The suite name matches the CI TSan filter (ci.yml), so
+// every interleaving here runs under ThreadSanitizer too.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "serve/program_cache.hpp"
+#include "snn/benchmarks.hpp"
+
+namespace resparc::serve {
+namespace {
+
+class ProgramCacheRace : public ::testing::Test {
+ protected:
+  static const snn::Topology& topology() {
+    static const snn::Topology topo =
+        snn::small_mlp_topology(snn::DatasetKind::kMnistLike);
+    return topo;
+  }
+  static core::ResparcConfig config() { return core::config_with_mca(64); }
+
+  static std::string scratch_dir(const std::string& name) {
+    const std::string dir =
+        ::testing::TempDir() + "resparc_cache_race_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+};
+
+// Many readers hitting one corrupt blob simultaneously: every caller
+// must get a valid program and the eviction is counted exactly once
+// (the generation check collapses the duplicate evictions).
+TEST_F(ProgramCacheRace, SimultaneousCorruptReadsEvictOnce) {
+  const std::string dir = scratch_dir("evict_once");
+  ProgramCache warm({.directory = dir});
+  warm.get_or_compile(config(), topology(), "paper");
+  const std::string path = warm.blob_path(
+      compile::program_cache_key(config(), topology(), "paper"));
+  ASSERT_TRUE(std::filesystem::exists(path));
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "RESPARC-PROGRAM v1\ntampered\n";
+  }
+
+  ProgramCache cache({.directory = dir});
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::shared_ptr<const compile::CompiledProgram>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      got[t] = cache.get_or_compile(config(), topology(), "paper");
+    });
+  for (auto& th : threads) th.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t)
+    EXPECT_NE(got[t], nullptr) << "thread " << t;
+  EXPECT_EQ(cache.stats().corrupt_evictions, 1u);
+  EXPECT_FALSE(cache.last_corruption_code().empty());
+
+  // The recompile re-persisted a good blob: a cold cache rehydrates it.
+  ProgramCache fresh({.directory = dir});
+  EXPECT_NO_THROW(fresh.rehydrate(config(), topology(), "paper"));
+  EXPECT_EQ(fresh.stats().corrupt_evictions, 0u);
+}
+
+// Independent caches over one shared directory (two servers, or a
+// restart racing a live server), all compiling/persisting/rehydrating
+// the same key at once.  The persist path writes a uniquely named temp
+// file and renames it into place, so no interleaving can surface a torn
+// blob — an eviction here means a reader observed one.
+TEST_F(ProgramCacheRace, ConcurrentPersistNeverTearsAReader) {
+  const std::string dir = scratch_dir("atomic_persist");
+  ProgramCache a({.directory = dir});
+  ProgramCache b({.directory = dir});
+
+  constexpr std::size_t kIterations = 4;
+  auto churn = [&](ProgramCache& cache) {
+    for (std::size_t i = 0; i < kIterations; ++i) {
+      // Cold memory every round: each call probes the shared blob (or
+      // compiles and persists it) while the other three threads do the
+      // same.
+      cache.clear_memory();
+      EXPECT_NE(cache.get_or_compile(config(), topology(), "paper"),
+                nullptr);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] { churn(a); });
+    threads.emplace_back([&] { churn(b); });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every observed blob was either absent (recompile) or complete: a
+  // torn read would have been counted as a corruption.
+  EXPECT_EQ(a.stats().corrupt_evictions, 0u);
+  EXPECT_EQ(b.stats().corrupt_evictions, 0u);
+  // The surviving blob is valid: a cold cache rehydrates it.
+  ProgramCache fresh({.directory = dir});
+  EXPECT_NO_THROW(fresh.rehydrate(config(), topology(), "paper"));
+}
+
+}  // namespace
+}  // namespace resparc::serve

@@ -1,0 +1,136 @@
+// resparc-fleet: Monte-Carlo chip-yield sweeps from the shell.
+//
+// Samples a population of fault-seeded chip instances with the fleet
+// harness (api/fleet.hpp): each chip compiles with the fault-aware
+// repair pass, re-simulates the shared eval set on its perturbed
+// network for accuracy, and replays the baseline traces for energy.
+// Prints the yield at the accuracy floor plus the accuracy/energy
+// distribution (docs/reliability.md).
+//
+//   resparc-fleet                                  200 pristine chips
+//   resparc-fleet --chips 500 --stuck-off 0.002 --sigma 0.1
+//   resparc-fleet --stuck-on 0.001 --bits 6 --floor 0.8
+//   resparc-fleet --json                           machine-readable summary
+//
+// Exit status: 0 on success, 2 on usage errors, 1 on run failures.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "api/fleet.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+using namespace resparc;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --chips N         chip instances sampled        (default 200)\n"
+      << "  --stuck-off R     stuck-at-G_min cell rate      (default 0)\n"
+      << "  --stuck-on R      stuck-at-G_max cell rate      (default 0)\n"
+      << "  --sigma S         lognormal programming sigma   (default 0)\n"
+      << "  --read-noise S    lognormal read-noise sigma    (default 0)\n"
+      << "  --bits N          conductance quantisation bits (default 0 = off)\n"
+      << "  --failed-density D per-MCA stuck fraction that fails the slot\n"
+      << "                    (default 0.05)\n"
+      << "  --no-repair       disable the fault-aware repair pass\n"
+      << "  --floor F         yield floor, fraction of baseline accuracy\n"
+      << "                    (default 0.9)\n"
+      << "  --mca N           MCA size                      (default 64)\n"
+      << "  --strategy NAME   mapping strategy              (default paper)\n"
+      << "  --images N        eval presentations per chip   (default 16)\n"
+      << "  --timesteps N     presentation length           (default 8)\n"
+      << "  --threads N       chip-level workers            (default all)\n"
+      << "  --seed N          master seed                   (default 7)\n"
+      << "  --json            print a JSON summary instead of the table\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  api::FleetOptions opts;
+  std::size_t mca = 64;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--chips") opts.chips = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--stuck-off") opts.faults.stuck_off_rate = std::atof(next());
+    else if (arg == "--stuck-on") opts.faults.stuck_on_rate = std::atof(next());
+    else if (arg == "--sigma") opts.faults.programming_sigma = std::atof(next());
+    else if (arg == "--read-noise") opts.faults.read_noise_sigma = std::atof(next());
+    else if (arg == "--bits") opts.faults.weight_bits = std::atoi(next());
+    else if (arg == "--failed-density") opts.faults.failed_density = std::atof(next());
+    else if (arg == "--no-repair") opts.faults.repair = false;
+    else if (arg == "--floor") opts.accuracy_floor = std::atof(next());
+    else if (arg == "--mca") mca = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--strategy") opts.strategy = next();
+    else if (arg == "--images") opts.images = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--timesteps") opts.timesteps = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--threads") opts.threads = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--seed") opts.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--json") json = true;
+    else if (arg == "--help" || arg == "-h") return usage(argv[0]);
+    else {
+      std::cerr << argv[0] << ": unknown option " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    opts.config = core::config_with_mca(mca);
+    const api::FleetReport fleet = api::run_fleet(opts);
+
+    std::size_t compile_failures = 0;
+    std::size_t failed_mpes = 0;
+    for (const api::FleetChip& chip : fleet.chips) {
+      if (!chip.ok) ++compile_failures;
+      failed_mpes += chip.failed_mpes;
+    }
+
+    if (json) {
+      std::printf(
+          "{\"chips\": %zu, \"yield\": %.6f, \"baseline_accuracy\": %.6f,\n"
+          " \"acc_p05\": %.6f, \"acc_p50\": %.6f, \"acc_p95\": %.6f,\n"
+          " \"baseline_energy_uj\": %.9f, \"energy_p50_uj\": %.9f,\n"
+          " \"energy_p95_uj\": %.9f, \"compile_failures\": %zu,\n"
+          " \"failed_mpes_total\": %zu}\n",
+          fleet.chips.size(), fleet.yield, fleet.baseline_accuracy,
+          fleet.acc_p05, fleet.acc_p50, fleet.acc_p95,
+          fleet.baseline_energy_uj, fleet.energy_p50_uj, fleet.energy_p95_uj,
+          compile_failures, failed_mpes);
+      return 0;
+    }
+
+    std::printf("fleet: %zu chips, MCA-%zu/%s, floor %.0f%% of baseline\n",
+                fleet.chips.size(), mca, opts.strategy.c_str(),
+                100.0 * opts.accuracy_floor);
+    std::printf("  faults: stuck-off %.4g stuck-on %.4g sigma %.4g "
+                "read-noise %.4g bits %d repair %s\n",
+                opts.faults.stuck_off_rate, opts.faults.stuck_on_rate,
+                opts.faults.programming_sigma, opts.faults.read_noise_sigma,
+                opts.faults.weight_bits, opts.faults.repair ? "on" : "off");
+    std::printf("  baseline: accuracy %.4f, energy %.6f uJ/class\n",
+                fleet.baseline_accuracy, fleet.baseline_energy_uj);
+    std::printf("  yield:    %.1f%%  (%zu compile failures)\n",
+                100.0 * fleet.yield, compile_failures);
+    std::printf("  accuracy: p05 %.4f  p50 %.4f  p95 %.4f\n", fleet.acc_p05,
+                fleet.acc_p50, fleet.acc_p95);
+    std::printf("  energy:   p50 %.6f uJ  p95 %.6f uJ\n", fleet.energy_p50_uj,
+                fleet.energy_p95_uj);
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -39,7 +39,15 @@ ROW_FIELDS = {
                              "tree_hops", "mesh_hops", "bus_words"],
     "bench_serving": ["tenants", "requests", "throughput_rps", "p50_ns",
                       "p95_ns", "p99_ns", "max_ns"],
+    "bench_fault_yield": ["chips", "stuck_rate", "sigma", "yield", "acc_p05",
+                          "acc_p50", "acc_p95", "energy_p50_uj",
+                          "energy_p95_uj", "baseline_accuracy"],
 }
+
+# Minimum chip instances a committed fault-yield sweep must aggregate
+# across its fault populations (docs/reliability.md): a fleet Monte-Carlo
+# estimate over fewer samples is too noisy to track.
+FAULT_YIELD_MIN_CHIPS = 200
 
 # The conv-forward kernel's acceptance floor.  The committed snapshot
 # shows the real ratio (>= 3x, docs/performance.md); fresh CI runs keep a
@@ -246,6 +254,52 @@ def validate_pipeline_semantics(results, path, errors):
                  f"({row['execute_resparc_tps']:.1f} traces/s)")
 
 
+def validate_fault_yield_semantics(results, path, errors):
+    """The fleet-harness acceptance properties (docs/reliability.md): the
+    sweep aggregates enough Monte-Carlo samples, every population reports
+    ordered quantiles and a sane yield, and the zero-fault population is
+    perfect — pristine chips must reproduce the baseline accuracy bit for
+    bit (the fault layer's no-op guarantee, measured end to end)."""
+    needed = ("chips", "stuck_rate", "sigma", "yield", "acc_p05", "acc_p50",
+              "acc_p95", "energy_p50_uj", "energy_p95_uj",
+              "baseline_accuracy")
+    rows = [r for r in results
+            if isinstance(r, dict) and all(k in r for k in needed)]
+    if len(rows) != len(results):
+        return  # field errors were already reported by validate_rows
+    total = sum(r["chips"] for r in rows)
+    if total < FAULT_YIELD_MIN_CHIPS:
+        fail(errors, path,
+             f"fleet sweep covers only {total} chip instances "
+             f"(minimum {FAULT_YIELD_MIN_CHIPS})")
+    for row in rows:
+        label = f"stuck_rate={row['stuck_rate']}, sigma={row['sigma']}"
+        if not 0.0 <= row["yield"] <= 1.0:
+            fail(errors, path, f"{label}: yield {row['yield']} not in [0, 1]")
+        if not row["acc_p05"] <= row["acc_p50"] <= row["acc_p95"]:
+            fail(errors, path,
+                 f"{label}: accuracy quantiles not ordered "
+                 f"(p05 {row['acc_p05']}, p50 {row['acc_p50']}, "
+                 f"p95 {row['acc_p95']})")
+        if row["energy_p50_uj"] > row["energy_p95_uj"]:
+            fail(errors, path,
+                 f"{label}: energy quantiles not ordered "
+                 f"(p50 {row['energy_p50_uj']}, p95 {row['energy_p95_uj']})")
+    pristine = [r for r in rows
+                if r["stuck_rate"] == 0 and r["sigma"] == 0]
+    if not pristine:
+        fail(errors, path, "no zero-fault population row")
+        return
+    for row in pristine:
+        if row["yield"] != 1.0:
+            fail(errors, path,
+                 f"zero-fault population yield {row['yield']} != 1.0")
+        if abs(row["acc_p50"] - row["baseline_accuracy"]) > 1e-9:
+            fail(errors, path,
+                 f"zero-fault acc_p50 {row['acc_p50']} deviates from the "
+                 f"baseline accuracy {row['baseline_accuracy']}")
+
+
 def validate_file(path, errors):
     try:
         with open(path, encoding="utf-8") as handle:
@@ -270,6 +324,8 @@ def validate_file(path, errors):
         validate_noc_contention_semantics(results, path, errors)
     if doc["bench"] == "bench_serving":
         validate_serving_semantics(results, path, errors)
+    if doc["bench"] == "bench_fault_yield":
+        validate_fault_yield_semantics(results, path, errors)
 
 
 def main(argv):
