@@ -58,6 +58,12 @@ CompiledProgram Compiler::run_passes(const snn::Topology& topology,
   // -- place -----------------------------------------------------------------
   strategy.place(program.mapping, config_);
 
+  // -- optimize --------------------------------------------------------------
+  // Whole-program search (no-op for the one-shot heuristics): the search
+  // strategies retile/replace/resize layers here, so every later pass —
+  // repair, routing, cost, verify — describes the searched mapping.
+  strategy.optimize(topology, program.mapping, config_);
+
   // -- repair ----------------------------------------------------------------
   // Fault-aware re-placement around failed mPEs (no-op unless the config
   // injects faults with repair enabled); runs before routing so routes

@@ -57,11 +57,11 @@ CostEstimate estimate_cost(const snn::Topology& topology,
   const double sneak = device.params().sneak_leak_fraction;
   const tech::SramModel sram{
       {.capacity_bytes = cfg.input_sram_bytes, .word_bits = 64}};
-  const std::size_t N = cfg.mca_size;
 
   double energy_pj = 0.0;
   double stage_max = 0.0;
   std::size_t bus_boundaries = 0;
+  std::size_t leak_columns = 0;
 
   // -- input broadcast from the SRAM ----------------------------------------
   {
@@ -76,6 +76,11 @@ CostEstimate estimate_cost(const snn::Topology& topology,
   for (std::size_t l = 0; l < topology.layer_count(); ++l) {
     const snn::LayerInfo& li = topology.layers()[l];
     const LayerMapping& lm = mapping.layers[l];
+    // Heterogeneous chips size arrays per layer (Mapping::layer_mca_size);
+    // homogeneous mappings resolve to cfg.mca_size, keeping every term
+    // bit-for-bit what it was.
+    const std::size_t N = mapping.layer_mca_size(l);
+    leak_columns += lm.mca_count * N;
 
     // -- crossbar reads + per-array periphery -------------------------------
     for (const McaGroup& g : lm.groups) {
@@ -130,7 +135,7 @@ CostEstimate estimate_cost(const snn::Topology& topology,
 
   // -- leakage over one steady-state (pipelined) step ------------------------
   const double leak_w =
-      static_cast<double>(mapping.total_mcas * N) * d.mca_column_leak_w +
+      static_cast<double>(leak_columns) * d.mca_column_leak_w +
       sram.leakage_w();
   const double step_ns = stage_max * 1e3 / t.resparc_clock_mhz;
   energy_pj += leak_w * step_ns * 1e3;  // W*ns -> pJ

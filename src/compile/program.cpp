@@ -13,10 +13,11 @@ namespace resparc::compile {
 namespace {
 
 constexpr const char* kMagic = "resparc-compiled-program";
-// v2 added the per-boundary Ml-NoC route table (the routing pass output);
-// v1 artifacts are rejected — recompiling is cheap and the routes are
-// part of the contract the executor now runs on.
-constexpr int kVersion = 2;
+// v3 added the per-layer MCA size (heterogeneous chips from the search
+// strategies; 0 = inherit config.mca_size).  v2 added the per-boundary
+// Ml-NoC route table.  Older artifacts are rejected — recompiling is
+// cheap and both fields are part of the contract the executor runs on.
+constexpr int kVersion = 3;
 
 void put(std::ostream& os, double v) { os << std::hexfloat << v << std::defaultfloat; }
 
@@ -135,7 +136,8 @@ void CompiledProgram::save(std::ostream& os) const {
     os << "layer " << lm.layer << " " << lm.mca_count << " " << lm.mpe_count
        << " " << lm.mux_degree << " " << lm.mux_cycles << " "
        << lm.ccu_transfers_per_neuron << " " << lm.synapses << " "
-       << lm.first_mpe << " " << lm.first_nc << " " << lm.last_nc << " ";
+       << lm.first_mpe << " " << lm.first_nc << " " << lm.last_nc << " "
+       << lm.mca_size << " ";
     put(os, lm.utilization);
     os << "\n";
     os << "groups " << lm.groups.size() << "\n";
@@ -235,6 +237,7 @@ CompiledProgram CompiledProgram::parse(std::istream& is,
     lm.first_mpe = read_value<std::size_t>(is, "first_mpe");
     lm.first_nc = read_value<std::size_t>(is, "first_nc");
     lm.last_nc = read_value<std::size_t>(is, "last_nc");
+    lm.mca_size = read_value<std::size_t>(is, "layer mca_size");
     lm.utilization = read_double(is, "layer utilization");
 
     expect_token(is, "groups");

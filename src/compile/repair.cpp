@@ -44,7 +44,17 @@ std::size_t repair_placement(core::Mapping& mapping) {
 
   std::size_t moved = 0;
   std::size_t cursor = 0;
-  for (core::LayerMapping& lm : mapping.layers) {
+  std::size_t prev_size = 0;
+  for (std::size_t l = 0; l < mapping.layers.size(); ++l) {
+    core::LayerMapping& lm = mapping.layers[l];
+    // A NeuroCell holds arrays of a single size (RV-CAP-NC-MIXED-SIZE):
+    // when a heterogeneous chip changes array size between layers, the
+    // repaired span must start at a fresh cell just like the original
+    // placement did.
+    const std::size_t n = mapping.layer_mca_size(l);
+    if (prev_size != 0 && n != prev_size && cursor % per_nc != 0)
+      cursor = (cursor / per_nc + 1) * per_nc;
+    prev_size = n;
     const std::size_t need = lm.mpe_count;
     std::size_t start = cursor;
     for (;;) {

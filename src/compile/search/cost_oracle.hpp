@@ -1,0 +1,125 @@
+// Cost oracles for the search-based mapping optimizer (docs/compile.md).
+//
+// Two fidelities behind one interface, the exploration/promotion split of
+// the annealing and beam strategies (search.hpp):
+//
+//   * AnalyticOracle — the analytic cost model's terms (compile::
+//     estimate_cost), memoised per tile decision: every placement-
+//     independent per-layer term (crossbar, control, neuron, CCU energy,
+//     compute cycles, leakage columns) is keyed by the decoder's tile key,
+//     so a move that only touches placement re-costs nothing but the
+//     boundaries, and a retile of one layer re-costs only that layer.
+//     Microseconds per candidate; the exploration signal.
+//
+//   * ReplayOracle — the event-fidelity core::Executor over a short
+//     synthetic calibration trace (Bernoulli spikes at the assumed
+//     activity), so congestion stalls on real switch FIFOs enter the
+//     score.  Milliseconds per candidate; the promotion/acceptance signal
+//     that keeps the search honest against the analytic model's blind
+//     spots.
+//
+// Both score with an energy-delay product (energy x critical-path cycles),
+// matching CostEstimate::score() so oracle rankings and compile_best
+// rankings agree in the homogeneous limit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+#include "core/mapper.hpp"
+#include "noc/route.hpp"
+#include "snn/topology.hpp"
+#include "snn/trace.hpp"
+#include "tech/memristor.hpp"
+#include "tech/sram.hpp"
+
+namespace resparc::compile::search {
+
+/// Scores one candidate mapping; lower is better.  `layer_keys` (when
+/// non-empty, one per layer) are opaque memoisation keys from the genome
+/// decoder: equal keys promise an identical tiling of that layer, so
+/// oracles may cache per-layer work under them.  Implementations must be
+/// thread-safe (candidate evaluation fans out on the shared ThreadPool)
+/// and pure (same candidate, same score — the determinism contract).
+class CostOracle {
+ public:
+  virtual ~CostOracle() = default;
+
+  /// Scores `mapping` routed as `routes`; lower is better, kInf rejects.
+  virtual double score(const core::Mapping& mapping,
+                       const noc::RouteTable& routes,
+                       std::span<const std::uint64_t> layer_keys) const = 0;
+};
+
+/// Fast analytic oracle: mirrors compile::estimate_cost term by term, with
+/// the per-layer placement-independent terms memoised under the decoder's
+/// tile keys.  One instance serves one (topology, config, activity) — the
+/// cache assumes the technology tables never change between calls.
+class AnalyticOracle final : public CostOracle {
+ public:
+  AnalyticOracle(const snn::Topology& topology,
+                 const core::ResparcConfig& config, double activity);
+
+  /// Analytic energy x cycles; per-layer terms cached under `layer_keys`.
+  double score(const core::Mapping& mapping, const noc::RouteTable& routes,
+               std::span<const std::uint64_t> layer_keys) const override;
+
+ private:
+  /// Placement-independent per-layer terms (cache payload).
+  struct LayerTerms {
+    double energy_pj = 0.0;      ///< crossbar + control + neuron + CCU
+    double compute_cycles = 0.0; ///< mux_cycles + 1 (stage compute term)
+    double leak_columns = 0.0;   ///< mca_count * N_l (leakage contribution)
+  };
+
+  LayerTerms layer_terms(std::size_t l, const core::Mapping& mapping) const;
+
+  const snn::Topology& topology_;
+  double activity_;
+  // Hoisted technology constants (identical to estimate_cost's).
+  double cell_pj_;
+  double cell_off_pj_;
+  double sneak_;
+  tech::DigitalCosts digital_;
+  tech::SramModel sram_;
+  double flit_bits_;
+  double clock_mhz_;
+  std::size_t nc_dim_;
+  bool event_driven_;
+
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::uint64_t, LayerTerms> cache_;
+};
+
+/// Event-fidelity replay oracle: runs the candidate through core::Executor
+/// with the event-driven noc::Fabric over a fixed calibration trace, so
+/// FIFO congestion and hop-fill latency enter the score.  `layer_keys` is
+/// ignored — a replay has no placement-independent part worth caching.
+class ReplayOracle final : public CostOracle {
+ public:
+  /// `trace` must match `topology` (layer_count + 1 layers); both must
+  /// outlive the oracle.
+  ReplayOracle(const snn::Topology& topology, const snn::SpikeTrace& trace);
+
+  /// Measured energy x cycles from an event-fidelity replay of the trace.
+  double score(const core::Mapping& mapping, const noc::RouteTable& routes,
+               std::span<const std::uint64_t> layer_keys) const override;
+
+ private:
+  const snn::Topology& topology_;
+  const snn::SpikeTrace& trace_;
+};
+
+/// Synthetic calibration trace: `steps` timesteps of independent
+/// Bernoulli(`activity`) spikes per neuron on every layer boundary of
+/// `topology`.  Streams derive from stream_seed(seed, layer * steps + t),
+/// so the trace is identical for any thread count and any candidate —
+/// every promotion replays exactly the same spikes.
+snn::SpikeTrace make_calibration_trace(const snn::Topology& topology,
+                                       std::size_t steps, double activity,
+                                       std::uint64_t seed);
+
+}  // namespace resparc::compile::search

@@ -6,6 +6,7 @@
 #include "common/math.hpp"
 #include "common/registry.hpp"
 #include "compile/program.hpp"
+#include "compile/search/search.hpp"
 
 namespace resparc::compile {
 
@@ -27,9 +28,9 @@ namespace {
 /// (shared mPEs are counted by both neighbours).
 void place_packed(Mapping& m, const ResparcConfig& cfg) {
   const std::size_t per_nc = cfg.mpes_per_neurocell();
-  const std::size_t N = cfg.mca_size;
   std::size_t mca_offset = 0;
   std::size_t synapses = 0;
+  std::size_t cells = 0;
   for (LayerMapping& lm : m.layers) {
     const std::size_t first_mpe = mca_offset / cfg.mcas_per_mpe;
     const std::size_t last_mpe =
@@ -42,12 +43,13 @@ void place_packed(Mapping& m, const ResparcConfig& cfg) {
     lm.last_nc = last_mpe / per_nc;
     mca_offset += lm.mca_count;
     synapses += lm.synapses;
+    const std::size_t n = lm.mca_size != 0 ? lm.mca_size : cfg.mca_size;
+    cells += lm.mca_count * n * n;
   }
   m.total_mcas = mca_offset;
   m.total_mpes = ceil_div(mca_offset, cfg.mcas_per_mpe);
   m.total_neurocells = ceil_div(m.total_mpes, per_nc);
-  m.utilization = static_cast<double>(synapses) /
-                  (static_cast<double>(m.total_mcas) * static_cast<double>(N * N));
+  m.utilization = static_cast<double>(synapses) / static_cast<double>(cells);
 }
 
 /// NeuroCell-aligned placement: a layer that would straddle a NeuroCell
@@ -56,9 +58,9 @@ void place_packed(Mapping& m, const ResparcConfig& cfg) {
 /// traffic stays on the switch fabric instead of the serial global bus.
 void place_aligned(Mapping& m, const ResparcConfig& cfg) {
   const std::size_t per_nc = cfg.mpes_per_neurocell();
-  const std::size_t N = cfg.mca_size;
   std::size_t next_mpe = 0;
   std::size_t synapses = 0;
+  std::size_t cells = 0;
   m.total_mcas = 0;
   for (LayerMapping& lm : m.layers) {
     // lm.mpe_count keeps the tiled (fresh-mPE) value; only the start moves.
@@ -71,21 +73,25 @@ void place_aligned(Mapping& m, const ResparcConfig& cfg) {
     lm.last_nc = (lm.first_mpe + lm.mpe_count - 1) / per_nc;
     m.total_mcas += lm.mca_count;
     synapses += lm.synapses;
+    const std::size_t n = lm.mca_size != 0 ? lm.mca_size : cfg.mca_size;
+    cells += lm.mca_count * n * n;
   }
   m.total_mpes = next_mpe;
   m.total_neurocells = ceil_div(next_mpe, per_nc);
-  m.utilization = static_cast<double>(synapses) /
-                  (static_cast<double>(m.total_mcas) * static_cast<double>(N * N));
+  m.utilization = static_cast<double>(synapses) / static_cast<double>(cells);
 }
+
+}  // namespace
 
 // ------------------------------------------------------------- greedy tile --
 
-/// Pool tiling that packs windows across output-row and channel boundaries.
-/// In flat CHW indexing the inputs of consecutive (channel, output-row)
-/// bands are contiguous, so one MCA can host several whole bands while its
-/// input slice stays a single contiguous range.
 LayerMapping tile_pool_packed(const LayerInfo& li, std::size_t layer_index,
                               const ResparcConfig& cfg) {
+  // Only pooling layers have windows to pack; everything else gets the
+  // paper tiling (li.spec.pool is 0 for dense/conv, so falling through
+  // would divide by zero below).
+  if (li.spec.kind != snn::LayerKind::kAvgPool)
+    return core::tile_layer_paper(li, layer_index, cfg);
   const std::size_t N = cfg.mca_size;
   const std::size_t p = li.spec.pool;
   const std::size_t window = p * p;
@@ -122,6 +128,8 @@ LayerMapping tile_pool_packed(const LayerInfo& li, std::size_t layer_index,
   core::finalize_layer_tiling(li, cfg, lm);
   return lm;
 }
+
+namespace {
 
 // -------------------------------------------------------------- strategies --
 
@@ -193,6 +201,10 @@ NamedRegistry<StrategyFactory>& registry() {
                  [] { return std::make_unique<GreedyPackStrategy>(); });
     instance.set("balanced",
                  [] { return std::make_unique<BalancedStrategy>(); });
+    // The optimizing strategies (src/compile/search): annealing / beam
+    // search over tile policy, placement and per-layer MCA size.
+    instance.set("anneal", [] { return search::make_anneal_strategy(); });
+    instance.set("beam", [] { return search::make_beam_strategy(); });
   });
   return instance;
 }

@@ -16,6 +16,10 @@
 //   "balanced"     paper tiling, but placement aligns layers to NeuroCell
 //                  boundaries so consecutive layers share a NeuroCell when
 //                  they fit — minimising inter-NeuroCell bus crossings
+//   "anneal"       simulated annealing over per-layer tile policy, MCA size
+//                  (heterogeneous mixes) and NeuroCell alignment, scored by
+//                  a pluggable CostOracle (src/compile/search, docs/compile.md)
+//   "beam"         deterministic beam search over the same move space
 #pragma once
 
 #include <functional>
@@ -51,6 +55,19 @@ class MappingStrategy {
   /// whole-chip totals over the already-tiled `m.layers`.
   virtual void place(core::Mapping& m,
                      const core::ResparcConfig& config) const = 0;
+
+  /// Optional whole-program optimization pass, run by the compiler after
+  /// place() and before the routing/cost passes.  One-shot heuristics keep
+  /// the default no-op; the search strategies (src/compile/search) replace
+  /// `m` wholesale with the best mapping found — including per-layer MCA
+  /// size overrides — and must leave it re-placeable (tiled + placed, all
+  /// totals consistent).  `topology` is the network `m` was tiled from.
+  virtual void optimize(const snn::Topology& topology, core::Mapping& m,
+                        const core::ResparcConfig& config) const {
+    (void)topology;
+    (void)m;
+    (void)config;
+  }
 };
 
 /// Factory signature strategies register under (mirrors BackendFactory).
@@ -68,5 +85,13 @@ std::vector<std::string> registered_strategies();
 
 /// True when `name` is a registered strategy key.
 bool strategy_exists(const std::string& name);
+
+/// Pool tiling that packs windows across output-row and channel boundaries
+/// (greedy-pack's pool policy, exposed for the search strategies' tile
+/// moves).  Falls back to core::tile_layer_paper when one band already
+/// fills an array.
+core::LayerMapping tile_pool_packed(const snn::LayerInfo& li,
+                                    std::size_t layer_index,
+                                    const core::ResparcConfig& config);
 
 }  // namespace resparc::compile

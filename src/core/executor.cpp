@@ -34,7 +34,6 @@ struct Executor::ReplayCosts {
   double cell_pj;
   double cell_off_pj;
   double sneak;
-  double mca_size_d;  ///< cfg.mca_size as double (exact)
   tech::SramModel sram;
 };
 
@@ -84,23 +83,27 @@ Executor::Executor(const snn::Topology& topology, const Mapping& mapping,
     fault_manifest_ = derive_manifest(mapping_);
   }
 
-  const ResparcConfig& cfg = mapping_.config;
-  const tech::DigitalCosts& d = cfg.technology.digital;
+  const tech::DigitalCosts& d = mapping_.config.technology.digital;
   group_consts_.resize(mapping.layers.size());
   for (std::size_t l = 0; l < mapping.layers.size(); ++l) {
     const snn::LayerInfo& li = topology.layers()[l];
+    // Heterogeneous chips (search strategies) size arrays per layer; all
+    // pre-search mappings resolve to config.mca_size here.
+    const std::size_t N = mapping.layer_mca_size(l);
+    leak_columns_ += mapping.layers[l].mca_count * N;
     group_consts_[l].reserve(mapping.layers[l].groups.size());
     for (const McaGroup& g : mapping.layers[l].groups) {
       GroupConsts gc;
       gc.bits = static_cast<double>(slice_bits(g.slice, li.in_shape));
       gc.driven_scale = static_cast<double>(g.rows_used * g.mca_count);
       gc.synapses = static_cast<double>(g.synapses);
-      gc.total_cells = static_cast<double>(g.mca_count) *
-                       static_cast<double>(cfg.mca_size * cfg.mca_size);
+      gc.total_cells =
+          static_cast<double>(g.mca_count) * static_cast<double>(N * N);
       gc.control_pj = static_cast<double>(g.mca_count) * d.mca_control_pj +
-                      static_cast<double>(g.mca_count * cfg.mca_size) *
+                      static_cast<double>(g.mca_count * N) *
                           d.column_interface_pj;
-      gc.buffer_bits = g.mca_count * cfg.mca_size;
+      gc.mca_size_d = static_cast<double>(N);
+      gc.buffer_bits = g.mca_count * N;
       group_consts_[l].push_back(gc);
     }
   }
@@ -142,7 +145,6 @@ Executor::ReplayCosts Executor::make_costs() const {
       device.mean_cell_read_energy_pj() * fault_cell_scale_,
       device.cell_read_energy_pj(device.g_min()),
       device.params().sneak_leak_fraction,
-      static_cast<double>(cfg.mca_size),
       tech::SramModel{
           {.capacity_bytes = cfg.input_sram_bytes, .word_bits = 64}}};
 }
@@ -219,7 +221,7 @@ void Executor::step_lane(const snn::SpikeTrace& trace, std::size_t step,
       // utilisation that makes oversized MCAs lose on sparse (CNN)
       // connectivity (paper section 5.2, Fig. 12(c)).
       const double driven_rows = fraction * gc.driven_scale;
-      const double driven_cells = driven_rows * costs.mca_size_d;
+      const double driven_cells = driven_rows * gc.mca_size_d;
       const double used_cells = fraction * gc.synapses;
       e.crossbar_pj += used_cells * cell_pj +
                        std::max(0.0, driven_cells - used_cells) * cell_off_pj;
@@ -342,8 +344,7 @@ void Executor::finish_lane(const ReplayCosts& costs, LaneAccum& lane) const {
   // The leaking silicon is the deployed column periphery (crossbars are
   // non-volatile), so idle power scales with mapped arrays x columns.
   const double leak_w =
-      static_cast<double>(mapping_.total_mcas * costs.cfg.mca_size) *
-          d.mca_column_leak_w +
+      static_cast<double>(leak_columns_) * d.mca_column_leak_w +
       costs.sram.leakage_w();
   e.leakage_pj += leak_w * report.perf.latency_pipelined_ns() * 1e3;  // W*ns -> pJ
 

@@ -125,8 +125,11 @@ class Executor {
     double bits = 0.0;          ///< slice_bits (fraction denominator)
     double driven_scale = 0.0;  ///< rows_used * mca_count
     double synapses = 0.0;      ///< crosspoints actually programmed
-    double total_cells = 0.0;   ///< mca_count * mca_size^2 (sneak term)
+    double total_cells = 0.0;   ///< mca_count * N_l^2 (sneak term)
     double control_pj = 0.0;    ///< control energy of one group activation
+    /// The layer's resolved MCA size as double (heterogeneous chips carry a
+    /// per-layer size; Mapping::layer_mca_size).  Exact for any legal size.
+    double mca_size_d = 0.0;
     std::size_t buffer_bits = 0;  ///< iBUFF bits fed per activation
   };
 
@@ -135,6 +138,10 @@ class Executor {
   noc::RouteTable routes_;
   noc::Fidelity fidelity_ = noc::Fidelity::kAnalytic;
   std::vector<std::vector<GroupConsts>> group_consts_;  ///< [layer][group]
+  /// Deployed column-periphery count, sum over layers of mca_count * N_l —
+  /// the leakage denominator.  Equals total_mcas * mca_size when the chip
+  /// is homogeneous.
+  std::size_t leak_columns_ = 0;
   /// Mean per-cell read-energy multiplier of the chip instance's faults
   /// (core/fault_injection.hpp); exactly 1.0 when fault injection is
   /// disabled, so the fault-free cost path is bit-for-bit unchanged.

@@ -157,6 +157,20 @@ std::size_t conv_window_input_span(std::size_t w, std::size_t k) {
   return w + k - 1;
 }
 
+std::size_t Mapping::layer_mca_size(std::size_t l) const {
+  const std::size_t n = layers[l].mca_size;
+  return n != 0 ? n : config.mca_size;
+}
+
+std::size_t Mapping::total_cells() const {
+  std::size_t cells = 0;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const std::size_t n = layer_mca_size(l);
+    cells += layers[l].mca_count * n * n;
+  }
+  return cells;
+}
+
 bool Mapping::boundary_uses_bus(std::size_t l) const {
   if (l == 0) return true;  // input broadcast from the SRAM is always on the bus
   const LayerMapping& src = layers[l - 1];
@@ -167,7 +181,10 @@ bool Mapping::boundary_uses_bus(std::size_t l) const {
 
 void finalize_layer_tiling(const LayerInfo& li, const ResparcConfig& config,
                            LayerMapping& lm) {
-  const std::size_t N = config.mca_size;
+  // A layer tiled for an overridden MCA size carries it in lm.mca_size;
+  // everything downstream (utilisation here, capacity checks, cost model,
+  // executor) must use the same resolved N.
+  const std::size_t N = lm.mca_size != 0 ? lm.mca_size : config.mca_size;
   lm.mca_count = 0;
   lm.synapses = 0;
   for (const auto& g : lm.groups) {
@@ -211,24 +228,26 @@ LayerMapping tile_layer_paper(const LayerInfo& li, std::size_t layer_index,
 }
 
 void place_layers_sequential(Mapping& m, const ResparcConfig& config) {
-  const std::size_t N = config.mca_size;
   std::size_t next_mpe = 0;
   m.total_mcas = 0;
   std::size_t synapses = 0;
+  std::size_t cells = 0;
   for (LayerMapping& lm : m.layers) {
     // lm.mpe_count was derived by finalize_layer_tiling: each layer starts
-    // a fresh mPE, so the tiled value is also the placed one here.
+    // a fresh mPE, so the tiled value is also the placed one here.  Layers
+    // of different MCA sizes never share an mPE for the same reason.
     lm.first_mpe = next_mpe;
     next_mpe += lm.mpe_count;
     lm.first_nc = lm.first_mpe / config.mpes_per_neurocell();
     lm.last_nc = (lm.first_mpe + lm.mpe_count - 1) / config.mpes_per_neurocell();
     m.total_mcas += lm.mca_count;
     synapses += lm.synapses;
+    const std::size_t n = lm.mca_size != 0 ? lm.mca_size : config.mca_size;
+    cells += lm.mca_count * n * n;
   }
   m.total_mpes = next_mpe;
   m.total_neurocells = ceil_div(next_mpe, config.mpes_per_neurocell());
-  m.utilization = static_cast<double>(synapses) /
-                  (static_cast<double>(m.total_mcas) * static_cast<double>(N * N));
+  m.utilization = static_cast<double>(synapses) / static_cast<double>(cells);
 }
 
 Mapping map_network(const snn::Topology& topology, const ResparcConfig& config) {

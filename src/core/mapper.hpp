@@ -82,6 +82,11 @@ struct LayerMapping {
   std::size_t first_mpe = 0;       ///< global mPE index where layer starts
   std::size_t first_nc = 0;        ///< NeuroCell of first_mpe
   std::size_t last_nc = 0;         ///< NeuroCell of the layer's last mPE
+  /// MCA size this layer was tiled for; 0 = inherit Mapping::config.mca_size.
+  /// Search strategies (src/compile/search) mix sizes across one chip; every
+  /// NeuroCell still holds arrays of a single size (verified by
+  /// RV-CAP-NC-MIXED-SIZE), because an mPE's peripheral pitch is fixed.
+  std::size_t mca_size = 0;
 };
 
 /// Whole-network mapping.
@@ -97,6 +102,16 @@ struct Mapping {
   /// NeuroCell boundary and must use the serial global bus (l = 0 means
   /// the input broadcast from the SRAM, always via the bus).
   bool boundary_uses_bus(std::size_t l) const;
+
+  /// Resolved MCA size of layer `l`: layers[l].mca_size, falling back to
+  /// config.mca_size when the layer carries no override (the homogeneous
+  /// case — every pre-search mapping).
+  std::size_t layer_mca_size(std::size_t l) const;
+
+  /// Total crosspoint capacity of the chip: sum over layers of
+  /// mca_count * N_l^2 with per-layer N_l.  Equals total_mcas * N^2 for a
+  /// homogeneous chip; the denominator of the whole-chip utilisation.
+  std::size_t total_cells() const;
 };
 
 /// Maps a topology onto the configured fabric.  Throws MappingError when a

@@ -275,10 +275,34 @@ void capacity_pass(const CompiledProgram& p, const VerifyOptions& options,
                    VerifyReport& report) {
   const Mapping& m = p.mapping;
   const ResparcConfig& cfg = m.config;
-  const std::size_t N = cfg.mca_size;
+
+  // Heterogeneous chips (search strategies) carry a per-layer MCA size;
+  // every capacity bound below is re-derived against the layer's resolved
+  // N.  Two extra invariants guard the mix itself: the override must be a
+  // legal array size, and one NeuroCell never holds arrays of two sizes
+  // (the peripheral pitch of a cell is fixed at fabrication).
+  std::vector<std::size_t> nc_size;  // resolved size per occupied NC, 0 = free
+  nc_size.resize(m.total_neurocells, 0);
 
   for (std::size_t l = 0; l < m.layers.size(); ++l) {
     const LayerMapping& lm = m.layers[l];
+    const std::size_t N = m.layer_mca_size(l);
+    if (lm.mca_size != 0 && (lm.mca_size < 8 || lm.mca_size > 1024))
+      report.error("RV-CAP-MCA-SIZE", layer_loc(l),
+                   "per-layer MCA size " + std::to_string(lm.mca_size) +
+                       " outside [8, 1024]");
+    for (std::size_t nc = lm.first_nc;
+         nc <= lm.last_nc && nc < nc_size.size(); ++nc) {
+      if (nc_size[nc] == 0) {
+        nc_size[nc] = N;
+      } else if (nc_size[nc] != N) {
+        report.error("RV-CAP-NC-MIXED-SIZE", layer_loc(l),
+                     "NeuroCell " + std::to_string(nc) + " holds " +
+                         std::to_string(nc_size[nc]) + "-size arrays but the "
+                         "layer places " + std::to_string(N) + "-size arrays "
+                         "into it");
+      }
+    }
     for (std::size_t g = 0; g < lm.groups.size(); ++g) {
       const McaGroup& mg = lm.groups[g];
       if (mg.synapses > mg.mca_count * N * N)
@@ -348,7 +372,6 @@ void consistency_pass(const CompiledProgram& p, const VerifyOptions& options,
                       VerifyReport& report) {
   const Mapping& m = p.mapping;
   const ResparcConfig& cfg = m.config;
-  const std::size_t N = cfg.mca_size;
 
   if (p.config_fingerprint != cfg.fingerprint())
     report.error("RV-CONS-FINGERPRINT", "program",
@@ -359,10 +382,13 @@ void consistency_pass(const CompiledProgram& p, const VerifyOptions& options,
 
   std::size_t sum_mcas = 0;
   std::size_t sum_synapses = 0;
+  std::size_t sum_cells = 0;
   std::size_t max_mpe_end = 0;
   std::size_t max_nc = 0;
   for (std::size_t l = 0; l < m.layers.size(); ++l) {
     const LayerMapping& lm = m.layers[l];
+    const std::size_t N = m.layer_mca_size(l);
+    sum_cells += lm.mca_count * N * N;
     std::size_t group_mcas = 0;
     std::size_t group_synapses = 0;
     for (const McaGroup& mg : lm.groups) {
@@ -421,13 +447,12 @@ void consistency_pass(const CompiledProgram& p, const VerifyOptions& options,
                        " != last placed NeuroCell + 1 = " +
                        std::to_string(max_nc + 1));
     if (m.total_mcas > 0) {
-      const double want_util =
-          static_cast<double>(sum_synapses) /
-          (static_cast<double>(m.total_mcas) * static_cast<double>(N * N));
+      const double want_util = static_cast<double>(sum_synapses) /
+                               static_cast<double>(sum_cells);
       if (!close(m.utilization, want_util, options.tolerance))
         report.error("RV-CONS-UTILIZATION", "program",
                      "whole-chip utilisation does not equal total synapses / "
-                     "(total MCAs * N^2)");
+                     "total crosspoints (per-layer N^2)");
     }
   }
 

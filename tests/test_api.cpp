@@ -76,6 +76,8 @@ TEST(Registry, UnknownNameThrowsListingAlternatives) {
     EXPECT_NE(what.find("paper"), std::string::npos);
     EXPECT_NE(what.find("greedy-pack"), std::string::npos);
     EXPECT_NE(what.find("balanced"), std::string::npos);
+    EXPECT_NE(what.find("anneal"), std::string::npos);
+    EXPECT_NE(what.find("beam"), std::string::npos);
   }
 }
 
@@ -89,6 +91,8 @@ TEST(Registry, UnknownStrategySuffixThrowsListingStrategies) {
     EXPECT_NE(what.find("paper"), std::string::npos);
     EXPECT_NE(what.find("greedy-pack"), std::string::npos);
     EXPECT_NE(what.find("balanced"), std::string::npos);
+    EXPECT_NE(what.find("anneal"), std::string::npos);
+    EXPECT_NE(what.find("beam"), std::string::npos);
   }
 }
 

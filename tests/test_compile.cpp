@@ -61,7 +61,8 @@ void expect_mappings_equal(const Mapping& a, const Mapping& b) {
 
 TEST(StrategyRegistry, BuiltinsAreRegistered) {
   const auto names = registered_strategies();
-  for (const char* expected : {"paper", "greedy-pack", "balanced"})
+  for (const char* expected :
+       {"paper", "greedy-pack", "balanced", "anneal", "beam"})
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   EXPECT_TRUE(strategy_exists("paper"));
@@ -77,6 +78,9 @@ TEST(StrategyRegistry, UnknownNameThrowsListingAlternatives) {
     EXPECT_NE(what.find("no-such-strategy"), std::string::npos);
     EXPECT_NE(what.find("paper"), std::string::npos);
     EXPECT_NE(what.find("greedy-pack"), std::string::npos);
+    // The search strategies must be discoverable from the message too.
+    EXPECT_NE(what.find("anneal"), std::string::npos);
+    EXPECT_NE(what.find("beam"), std::string::npos);
   }
 }
 

@@ -99,7 +99,8 @@ TEST(VerifyClean, FreshBlobLintsCleanIncludingRoundTrip) {
 // errors silently.)
 TEST(VerifyClean, AllStrategiesVerifyCleanAtPaperScale) {
   const snn::BenchmarkSpec specs[] = {snn::mnist_mlp(), snn::mnist_cnn()};
-  for (const char* strategy : {"paper", "greedy-pack", "balanced"}) {
+  for (const char* strategy :
+       {"paper", "greedy-pack", "balanced", "anneal", "beam"}) {
     for (const auto& spec : specs) {
       for (const std::size_t mca : {64u, 128u, 256u}) {
         const core::ResparcConfig cfg = core::config_with_mca(mca);
@@ -140,7 +141,7 @@ TEST(VerifyTamper, TruncatedPayloadIsMalformed) {
 
 TEST(VerifyTamper, WrongVersionIsRejectedWithVersionCode) {
   const std::string blob =
-      tampered(base_blob(), "resparc-compiled-program v2",
+      tampered(base_blob(), "resparc-compiled-program v3",
                "resparc-compiled-program v9");
   EXPECT_EQ(parse_code(blob), "RV-BLOB-VERSION");
 }

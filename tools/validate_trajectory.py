@@ -29,7 +29,8 @@ ROW_FIELDS = {
     "pipeline_throughput": ["threads", "simulate_tps", "execute_resparc_tps",
                             "execute_resparc_packed_tps", "execute_cmos_tps"],
     "ablation_mapping_strategy": ["mca", "utilization", "mcas", "neurocells",
-                                  "bus_boundaries", "energy_uj", "eps"],
+                                  "bus_boundaries", "energy_uj", "latency_ns",
+                                  "stall_cycles"],
     "bench_sparse_execution": ["rate", "input_sparsity", "mean_activity",
                                "dense_tps", "sparse_tps", "speedup"],
     "micro_kernels": ["items", "naive_ms", "kernel_ms", "speedup"],
@@ -42,6 +43,9 @@ ROW_FIELDS = {
     "bench_fault_yield": ["chips", "stuck_rate", "sigma", "yield", "acc_p05",
                           "acc_p50", "acc_p95", "energy_p50_uj",
                           "energy_p95_uj", "baseline_accuracy"],
+    "bench_search_mapping": ["energy_uj", "latency_ns", "stall_cycles",
+                             "utilization", "mcas", "neurocells",
+                             "bus_boundaries", "mixed_sizes"],
 }
 
 # Minimum chip instances a committed fault-yield sweep must aggregate
@@ -70,6 +74,14 @@ PACKED_EXECUTE_MIN_RATIO = 0.8
 # Fresh CI runs re-measure wall clock; allow this much dip before calling
 # the sparse-throughput curve non-monotonic.
 JITTER_SLACK = 0.8
+
+# Search-based mapping acceptance (docs/compile.md): the annealed
+# heterogeneous mix must beat the strongest one-shot baseline
+# (greedy-pack) by at least 5% measured energy per classification AND
+# stall strictly less on the event-fidelity NoC.  Energy and stall
+# cycles are deterministic replay outputs at a pinned seed, so no
+# jitter slack is needed.
+SEARCH_MAX_ENERGY_RATIO = 0.95
 
 # Multi-tenant serving acceptance floor: the >= 4-tenant aggregate
 # throughput over the single-tenant interactive baseline.  The committed
@@ -300,6 +312,39 @@ def validate_fault_yield_semantics(results, path, errors):
                  f"baseline accuracy {row['baseline_accuracy']}")
 
 
+def validate_search_mapping_semantics(results, path, errors):
+    """The search-strategy acceptance properties (docs/compile.md): a
+    greedy-pack baseline row and an anneal row exist; anneal clears the
+    energy floor over greedy-pack and stalls strictly less; and the
+    searched row actually exercises heterogeneous MCA mixes."""
+    needed = ("strategy", "energy_uj", "stall_cycles", "mixed_sizes")
+    rows = [r for r in results
+            if isinstance(r, dict) and all(k in r for k in needed)]
+    if len(rows) != len(results):
+        return  # field errors were already reported by validate_rows
+    by_strategy = {r["strategy"]: r for r in rows}
+    greedy = by_strategy.get("greedy-pack")
+    anneal = by_strategy.get("anneal")
+    if greedy is None or anneal is None:
+        fail(errors, path,
+             "bench_search_mapping needs 'greedy-pack' and 'anneal' rows")
+        return
+    floor = SEARCH_MAX_ENERGY_RATIO * greedy["energy_uj"]
+    if anneal["energy_uj"] > floor:
+        fail(errors, path,
+             f"anneal energy {anneal['energy_uj']} uJ above "
+             f"{SEARCH_MAX_ENERGY_RATIO}x greedy-pack "
+             f"({greedy['energy_uj']} uJ)")
+    if anneal["stall_cycles"] >= greedy["stall_cycles"]:
+        fail(errors, path,
+             f"anneal stall cycles {anneal['stall_cycles']} not strictly "
+             f"below greedy-pack ({greedy['stall_cycles']})")
+    if anneal["mixed_sizes"] < 1:
+        fail(errors, path,
+             "anneal row reports no heterogeneous MCA sizes "
+             "(mixed_sizes == 0)")
+
+
 def validate_file(path, errors):
     try:
         with open(path, encoding="utf-8") as handle:
@@ -326,6 +371,8 @@ def validate_file(path, errors):
         validate_serving_semantics(results, path, errors)
     if doc["bench"] == "bench_fault_yield":
         validate_fault_yield_semantics(results, path, errors)
+    if doc["bench"] == "bench_search_mapping":
+        validate_search_mapping_semantics(results, path, errors)
 
 
 def main(argv):
